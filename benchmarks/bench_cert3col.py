@@ -1,0 +1,54 @@
+"""E16 — Section 7.1 application (iii): certain k-colourability (CERT3COL-style)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encodings import (
+    CertColInstance,
+    LabelledEdge,
+    QbfLiteral,
+    certkcol_to_qbf,
+    decide_certcol_sms,
+)
+from repro.generators import random_certcol_instance
+
+SMALL_NEGATIVE = CertColInstance(("a", "b"), (LabelledEdge("a", "b"),), (), colours=1)
+SMALL_POSITIVE = CertColInstance(("a",), (), (), colours=1)
+LABELLED = CertColInstance(
+    ("a", "b"), (LabelledEdge("a", "b", QbfLiteral("b0")),), ("b0",), colours=2
+)
+
+
+def test_qbf_reduction_agrees_with_brute_force(benchmark):
+    """The 2-QBF encoding of certain colourability matches brute force on random instances."""
+
+    def run():
+        outcomes = []
+        for seed in range(6):
+            instance = random_certcol_instance(vertices=3, edges=2, variables=1, colours=2, seed=seed)
+            outcomes.append(
+                certkcol_to_qbf(instance).is_valid() == instance.is_certainly_colourable()
+            )
+        return outcomes
+
+    outcomes = benchmark(run)
+    assert all(outcomes)
+
+
+def test_sms_decision_negative_instance(benchmark):
+    answer = benchmark(lambda: decide_certcol_sms(SMALL_NEGATIVE))
+    assert answer is False
+    assert SMALL_NEGATIVE.is_certainly_colourable() is False
+
+
+def test_sms_decision_positive_instance(benchmark):
+    answer = benchmark(lambda: decide_certcol_sms(SMALL_POSITIVE))
+    assert answer is True
+    assert SMALL_POSITIVE.is_certainly_colourable() is True
+
+
+def test_labelled_instance_brute_force_and_reduction(benchmark):
+    """Larger labelled instances are validated at the QBF level (the SMS engine is exponential)."""
+    formula = benchmark(lambda: certkcol_to_qbf(LABELLED))
+    assert formula.is_valid() == LABELLED.is_certainly_colourable() is True

@@ -1,0 +1,43 @@
+"""E18 — chase machinery under weak acyclicity (the substrate of Lemma 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_program
+from repro.chase import chase_size_bound, oblivious_chase, restricted_chase
+from repro.generators import random_database
+
+RULES = parse_program(
+    """
+    p0_0(X, Y) -> exists Z. q(X, Z)
+    q(X, Z) -> exists W. r(Z, W)
+    r(Z, W) -> touched(Z)
+    """
+)
+
+
+@pytest.mark.parametrize("facts", [4, 8, 16])
+def test_restricted_chase_scaling(benchmark, facts):
+    database = random_database(
+        sorted(RULES.extensional_predicates(), key=lambda p: p.name),
+        constants=facts,
+        facts=facts,
+        seed=facts,
+    )
+    result = benchmark(lambda: restricted_chase(database, RULES))
+    assert result.terminated
+    assert len(result) <= chase_size_bound(database, RULES)
+
+
+@pytest.mark.parametrize("facts", [4, 8])
+def test_oblivious_chase_is_coarser(benchmark, facts):
+    database = random_database(
+        sorted(RULES.extensional_predicates(), key=lambda p: p.name),
+        constants=facts,
+        facts=facts,
+        seed=facts,
+    )
+    result = benchmark(lambda: oblivious_chase(database, RULES))
+    assert result.terminated
+    assert len(result) >= len(restricted_chase(database, RULES))

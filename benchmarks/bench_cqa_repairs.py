@@ -1,0 +1,38 @@
+"""E14 — Section 7.1 application (i): consistent query answering under set-based repairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_database, parse_query
+from repro.core.atoms import Predicate
+from repro.core.terms import Variable
+from repro.encodings import DenialConstraint, consistent_answers, denial_cqa_query, subset_repairs
+
+MANAGER = Predicate("manager", 1)
+INTERN = Predicate("intern", 1)
+CONSTRAINT = DenialConstraint((MANAGER(Variable("X")), INTERN(Variable("X"))))
+DATABASE = parse_database(
+    """
+    manager(ann). manager(eve).
+    intern(ann). intern(bob). intern(eve).
+    """
+)
+QUERY = parse_query("?(X) :- intern(X)")
+
+
+def test_repair_enumeration(benchmark):
+    repairs = benchmark(lambda: subset_repairs(DATABASE, [CONSTRAINT]))
+    assert len(repairs) == 4  # independent keep/drop choice for ann and eve
+
+
+def test_reference_consistent_answers(benchmark):
+    answers = benchmark(lambda: consistent_answers(DATABASE, [CONSTRAINT], QUERY))
+    assert {t[0].name for t in answers} == {"bob"}
+
+
+def test_declarative_encoding(benchmark):
+    watgd, encoding = denial_cqa_query([CONSTRAINT], QUERY, schema=[MANAGER, INTERN])
+    encoded = encoding.encode_database(DATABASE)
+    answers = benchmark(lambda: watgd.cautious(encoded, max_nulls=0))
+    assert answers == consistent_answers(DATABASE, [CONSTRAINT], QUERY)

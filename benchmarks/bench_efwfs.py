@@ -1,0 +1,38 @@
+"""E2 — Example 3: the equality-friendly well-founded semantics anomaly."""
+
+from __future__ import annotations
+
+from repro import Constant
+from repro.lp import efwfs_entails
+
+
+def test_efwfs_example2_expected(
+    benchmark, father_rules, father_database, query_no_bob_father
+):
+    """EFWFS agrees with the intended answer on Example 2 (query not entailed)."""
+    answer = benchmark(
+        lambda: efwfs_entails(
+            father_database,
+            father_rules,
+            query_no_bob_father,
+            extra_constants=[Constant("bob")],
+            unify_constants=False,
+        )
+    )
+    assert answer is False
+
+
+def test_efwfs_example3_anomaly(
+    benchmark, father_rules, father_database, query_not_abnormal
+):
+    """Example 3: EFWFS fails to entail ¬abnormal(alice), unlike the new semantics."""
+    answer = benchmark(
+        lambda: efwfs_entails(
+            father_database,
+            father_rules,
+            query_not_abnormal,
+            extra_constants=[Constant("bob"), Constant("john")],
+            unify_constants=False,
+        )
+    )
+    assert answer is False

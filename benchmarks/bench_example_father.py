@@ -1,0 +1,33 @@
+"""E1 — Examples 1, 2 and 4: the hasFather programme, new semantics vs. LP approach."""
+
+from __future__ import annotations
+
+from repro.lp import lp_stable_models
+from repro.stable import certain_answer, solve
+
+
+def test_new_semantics_enumeration(benchmark, father_rules, father_database, father_universe):
+    """Example 4: three stable models over {alice, bob, one null}."""
+    models = benchmark(
+        lambda: solve(father_database, father_rules, universe=father_universe)
+    )
+    assert len(models) == 3
+
+
+def test_new_semantics_example2_query(
+    benchmark, father_rules, father_database, father_universe, query_no_bob_father
+):
+    """Example 2: ¬hasFather(alice, bob) is NOT certain under the new semantics."""
+    answer = benchmark(
+        lambda: certain_answer(
+            father_database, father_rules, query_no_bob_father, universe=father_universe
+        )
+    )
+    assert answer is False
+
+
+def test_lp_approach_single_model(benchmark, father_rules, father_database, query_no_bob_father):
+    """Section 1: the LP approach has a unique model and (wrongly) entails the query."""
+    models = benchmark(lambda: lp_stable_models(father_database, father_rules))
+    assert len(models) == 1
+    assert all(query_no_bob_father.holds_in(model) for model in models)

@@ -1,0 +1,75 @@
+"""E11 — Theorem 12 / Lemma 13 / Example 5: simulating disjunction."""
+
+from __future__ import annotations
+
+from repro import parse_database, parse_disjunctive_program, parse_query
+from repro.classes import is_weakly_acyclic, is_weakly_acyclic_disjunctive
+from repro.disjunction import (
+    disjunctive_certain_answer,
+    enumerate_disjunctive_stable_models,
+    translate_disjunctive,
+)
+from repro.stable import certain_answer, enumerate_stable_models
+
+RULES = parse_disjunctive_program(
+    """
+    r(X) -> p(X) | q(X)
+    p(X), not blocked(X) -> marked(X)
+    """
+)
+DATABASE = parse_database("r(a). r(b).")
+QUERY = parse_query("? :- r(a)")
+
+
+def test_direct_disjunctive_enumeration(benchmark):
+    models = benchmark(
+        lambda: list(enumerate_disjunctive_stable_models(DATABASE, RULES, max_nulls=0))
+    )
+    assert len(models) == 4  # independent binary choice for a and b
+
+
+def test_translation_construction(benchmark):
+    translation = benchmark(lambda: translate_disjunctive(DATABASE, RULES))
+    # Example 5 phenomenon: the simulation may leave weak acyclicity ...
+    example5 = parse_disjunctive_program(
+        """
+        p(X) -> exists Y. s(X, Y)
+        r(X) -> p(X) | s(X, X)
+        """
+    )
+    assert is_weakly_acyclic_disjunctive(example5)
+    assert not is_weakly_acyclic(translate_disjunctive(DATABASE, example5).rules)
+    assert len(translation.rules) > len(RULES)
+
+
+def test_translation_preserves_certain_answers(benchmark):
+    translation = translate_disjunctive(DATABASE, RULES)
+
+    def run():
+        direct = disjunctive_certain_answer(DATABASE, RULES, QUERY, max_nulls=0)
+        simulated = certain_answer(
+            translation.database, translation.rules, QUERY, max_nulls=1
+        )
+        return direct, simulated
+
+    direct, simulated = benchmark(run)
+    assert direct == simulated is True
+
+
+def test_translation_preserves_models(benchmark):
+    translation = translate_disjunctive(DATABASE, RULES)
+
+    def projected():
+        return {
+            frozenset(str(a) for a in translation.project(model.positive))
+            for model in enumerate_stable_models(
+                translation.database, translation.rules, max_nulls=1
+            )
+        }
+
+    simulated = benchmark(projected)
+    direct = {
+        frozenset(str(a) for a in model)
+        for model in enumerate_disjunctive_stable_models(DATABASE, RULES, max_nulls=0)
+    }
+    assert simulated == direct

@@ -1,0 +1,33 @@
+"""E9 — Lemma 7: every stable model is the fixpoint of the immediate-consequence operator."""
+
+from __future__ import annotations
+
+from repro.stable import enumerate_stable_models, least_fixpoint, satisfies_lemma7
+
+
+def test_lemma7_on_the_father_example(
+    benchmark, father_rules, father_database, father_universe
+):
+    models = list(
+        enumerate_stable_models(father_database, father_rules, universe=father_universe)
+    )
+
+    def check_all():
+        return [
+            least_fixpoint(father_database, father_rules, model) == model.positive
+            for model in models
+        ]
+
+    results = benchmark(check_all)
+    assert results and all(results)
+
+
+def test_lemma7_convenience_wrapper(benchmark, father_rules, father_database, father_universe):
+    model = next(
+        iter(
+            enumerate_stable_models(
+                father_database, father_rules, universe=father_universe
+            )
+        )
+    )
+    assert benchmark(lambda: satisfies_lemma7(model, father_database, father_rules))

@@ -1,0 +1,28 @@
+"""E4 — Section 3.2/3.3: minimal models (MM) versus stable models (SM)."""
+
+from __future__ import annotations
+
+from repro import Interpretation, parse_atom, parse_database, parse_program
+from repro.stable import is_minimal_model, is_stable_model, solve
+
+RULES = parse_program(
+    """
+    p(X), not t(X) -> r(X)
+    r(X) -> t(X)
+    """
+)
+DATABASE = parse_database("p(0).")
+J = Interpretation(frozenset({parse_atom("p(0)"), parse_atom("t(0)")}))
+
+
+def test_j_is_a_minimal_model(benchmark):
+    assert benchmark(lambda: is_minimal_model(J, DATABASE, RULES)) is True
+
+
+def test_j_is_not_a_stable_model(benchmark):
+    assert benchmark(lambda: is_stable_model(J, DATABASE, RULES)) is False
+
+
+def test_no_stable_model_exists(benchmark):
+    models = benchmark(lambda: solve(DATABASE, RULES, max_nulls=0))
+    assert models == []

@@ -1,0 +1,39 @@
+"""E17 — the chase-based operational semantics of Baget et al. versus the new approach."""
+
+from __future__ import annotations
+
+from repro import Constant, parse_query
+from repro.chase import operational_stable_models
+from repro.stable import certain_answer
+
+
+def test_operational_enumeration(benchmark, father_rules, father_database):
+    models = benchmark(
+        lambda: list(operational_stable_models(father_database, father_rules))
+    )
+    # Fresh nulls only => a single model up to isomorphism.
+    assert len(models) == 1
+
+
+def test_disagreement_on_example2(
+    benchmark, father_rules, father_database, query_no_bob_father
+):
+    """The operational semantics entails ¬hasFather(alice, bob); the new one does not."""
+
+    def run():
+        operational = all(
+            query_no_bob_father.holds_in(model)
+            for model in operational_stable_models(father_database, father_rules)
+        )
+        new_semantics = certain_answer(
+            father_database,
+            father_rules,
+            query_no_bob_father,
+            extra_constants=[Constant("bob")],
+            max_nulls=1,
+        )
+        return operational, new_semantics
+
+    operational, new_semantics = benchmark(run)
+    assert operational is True
+    assert new_semantics is False

@@ -1,0 +1,26 @@
+"""E15 — Section 7.1 application (ii): 2-QBF via the WATGD¬ brave/cautious query languages."""
+
+from __future__ import annotations
+
+from repro.encodings import QbfLiteral, TwoQbfExists, qbf_brave_query, qbf_database
+
+SATISFIABLE = TwoQbfExists(
+    ("x",),
+    ("y",),
+    ((QbfLiteral("x"), QbfLiteral("y")), (QbfLiteral("x"), QbfLiteral("y", False))),
+)
+UNSATISFIABLE = TwoQbfExists(("x",), ("y",), ((QbfLiteral("x"), QbfLiteral("y")),))
+
+
+def test_brave_query_on_satisfiable_formula(benchmark):
+    query = qbf_brave_query()
+    database = qbf_database(SATISFIABLE)
+    answer = benchmark(lambda: query.holds(database, semantics="brave", max_nulls=0))
+    assert answer is True
+
+
+def test_brave_query_on_unsatisfiable_formula(benchmark):
+    query = qbf_brave_query()
+    database = qbf_database(UNSATISFIABLE)
+    answer = benchmark(lambda: query.holds(database, semantics="brave", max_nulls=0))
+    assert answer is False

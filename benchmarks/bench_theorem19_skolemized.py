@@ -1,0 +1,37 @@
+"""E13 — Theorems 19/20: the Skolemized languages SWATGD¬ versus WATGD¬."""
+
+from __future__ import annotations
+
+from repro import Constant, parse_database, parse_program
+from repro.core.atoms import Predicate
+from repro.languages import SkolemizedWatgdQuery, WatgdQuery
+
+PROGRAM = parse_program(
+    """
+    person(X) -> exists Y. hasFather(X, Y)
+    hasFather(X, Y) -> sameAs(Y, Y)
+    hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X)
+    person(X), not hasFather(X, bob) -> noBobFather(X)
+    """
+)
+DATABASE = parse_database("person(alice).")
+ANSWER = Predicate("noBobFather", 1)
+
+
+def test_skolemized_language_evaluation(benchmark):
+    query = SkolemizedWatgdQuery(PROGRAM, ANSWER)
+    answers = benchmark(lambda: query.cautious(DATABASE))
+    # Under the Skolemized (LP) reading, alice certainly has no father called bob.
+    assert answers == {(Constant("alice"),)}
+
+
+def test_watgd_language_evaluation(benchmark):
+    query = WatgdQuery(PROGRAM, ANSWER)
+    answers = benchmark(
+        lambda: query.cautious(
+            DATABASE, extra_constants=[Constant("bob")], max_nulls=1
+        )
+    )
+    # Under the new semantics the answer is not certain — the expressivity gap
+    # of Theorem 19 manifests already on this query.
+    assert answers == frozenset()

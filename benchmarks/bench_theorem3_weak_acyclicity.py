@@ -1,0 +1,33 @@
+"""E6 — Theorem 3 / Proposition 9: decidable query answering for WATGD¬, model-size bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import stable_model_size_bound
+from repro.classes import is_weakly_acyclic
+from repro.generators import random_database, random_weakly_acyclic_program
+from repro.stable import Universe, enumerate_stable_models
+
+
+@pytest.mark.parametrize("facts", [2, 4, 6])
+def test_enumeration_scales_with_database(benchmark, facts):
+    """Enumeration terminates (decidability) and model sizes respect Proposition 9."""
+    program = random_weakly_acyclic_program(layers=2, predicates_per_layer=2, seed=7)
+    assert is_weakly_acyclic(program)
+    database = random_database(
+        sorted(program.extensional_predicates(), key=lambda p: p.name),
+        constants=3,
+        facts=facts,
+        seed=7,
+    )
+    universe = Universe.for_database(database, max_nulls=1)
+
+    models = benchmark(
+        lambda: list(
+            enumerate_stable_models(database, program, universe=universe)
+        )
+    )
+    bound = stable_model_size_bound(database, program)
+    assert models, "weakly-acyclic stratified programs always admit a stable model"
+    assert all(len(model) <= bound for model in models)

@@ -1,0 +1,34 @@
+"""E8 — Theorem 6: the ΠP2-hardness reduction from 2-QBF∃ (Section 5.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encodings import QbfLiteral, TwoQbfExists, decide_exists_forall_sms, qbf_database, qbf_rules
+
+SATISFIABLE = TwoQbfExists(
+    ("x",),
+    ("y",),
+    ((QbfLiteral("x"), QbfLiteral("y")), (QbfLiteral("x"), QbfLiteral("y", False))),
+)
+UNSATISFIABLE = TwoQbfExists(("x",), ("y",), ((QbfLiteral("x"), QbfLiteral("y")),))
+
+
+def test_encoding_construction(benchmark):
+    """Building D_phi is linear in the formula; the rule set is fixed."""
+    database = benchmark(lambda: qbf_database(SATISFIABLE))
+    assert len(database) == 1 + 1 + 1 + 2  # nil + evar + avar + 2 clauses
+    assert len(qbf_rules()) == 12
+
+
+def test_satisfiable_formula(benchmark):
+    """phi satisfiable  <=>  (D_phi, Sigma) does NOT cautiously entail error."""
+    answer = benchmark(lambda: decide_exists_forall_sms(SATISFIABLE))
+    assert answer is True
+    assert SATISFIABLE.is_satisfiable() is True
+
+
+def test_unsatisfiable_formula(benchmark):
+    answer = benchmark(lambda: decide_exists_forall_sms(UNSATISFIABLE))
+    assert answer is False
+    assert UNSATISFIABLE.is_satisfiable() is False

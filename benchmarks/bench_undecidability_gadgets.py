@@ -1,0 +1,38 @@
+"""E7 — Theorems 4 and 5: the grid/guess mechanisms behind the undecidability proofs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import restricted_chase
+from repro.classes import is_guarded, is_sticky, is_weakly_acyclic
+from repro.core.rules import RuleSet
+from repro.encodings import chain_database, grid_expected_size, guarded_guess_rules, sticky_grid_rules
+
+
+def test_class_memberships(benchmark):
+    """The gadgets are sticky / guarded but escape weak acyclicity."""
+
+    def check():
+        sticky = sticky_grid_rules()
+        guarded = guarded_guess_rules()
+        return (
+            is_sticky(sticky),
+            is_weakly_acyclic(sticky),
+            is_guarded(guarded),
+            is_weakly_acyclic(guarded),
+        )
+
+    sticky_ok, sticky_wa, guarded_ok, guarded_wa = benchmark(check)
+    assert sticky_ok and not sticky_wa
+    assert guarded_ok and not guarded_wa
+
+
+@pytest.mark.parametrize("length", [2, 4, 6])
+def test_cartesian_grid_growth(benchmark, length):
+    """The sticky cartesian product builds an n × n grid (quadratic growth)."""
+    product_rule = RuleSet((sticky_grid_rules()[4],))
+    database = chain_database(length)
+    result = benchmark(lambda: restricted_chase(database, product_rule))
+    cells = [atom for atom in result.atoms if atom.predicate.name == "cell"]
+    assert len(cells) == grid_expected_size(length)

@@ -1,0 +1,36 @@
+"""E10 — Definition 4 / Proposition 11: witnesses and the W-Stability check."""
+
+from __future__ import annotations
+
+from repro import Interpretation, parse_atom
+from repro.stable import compute_witnesses, w_stability
+
+
+def _interp(text: str) -> Interpretation:
+    return Interpretation(frozenset(parse_atom(token) for token in text.split()))
+
+
+STABLE = "person(alice) hasFather(alice,bob) sameAs(bob,bob)"
+UNSTABLE = "person(alice) hasFather(alice,bob) sameAs(bob,bob) sameAs(alice,alice)"
+
+
+def test_witness_computation(benchmark, father_rules):
+    model = _interp(STABLE)
+    witnesses = benchmark(lambda: compute_witnesses(father_rules, model))
+    assert all(witness.is_positive for witness in witnesses.values())
+
+
+def test_w_stability_positive(benchmark, father_rules, father_database):
+    model = _interp(STABLE)
+    witnesses = compute_witnesses(father_rules, model)
+    assert benchmark(
+        lambda: w_stability(father_database, father_rules, model, witnesses)
+    )
+
+
+def test_w_stability_negative(benchmark, father_rules, father_database):
+    model = _interp(UNSTABLE)
+    witnesses = compute_witnesses(father_rules, model)
+    assert not benchmark(
+        lambda: w_stability(father_database, father_rules, model, witnesses)
+    )

@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark module corresponds to one experiment id of DESIGN.md /
+EXPERIMENTS.md.  The paper is a theory paper without measured tables, so each
+benchmark (i) asserts the qualitative claim of the corresponding theorem,
+example or figure — who wins, which answer is produced, how a quantity grows —
+and (ii) measures the runtime of the reference implementation on a small
+workload so that regressions are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Constant, parse_database, parse_program, parse_query
+from repro.stable import Universe
+
+
+@pytest.fixture(scope="session")
+def father_rules():
+    return parse_program(
+        """
+        person(X) -> exists Y. hasFather(X, Y)
+        hasFather(X, Y) -> sameAs(Y, Y)
+        hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X)
+        """
+    )
+
+
+@pytest.fixture(scope="session")
+def father_database():
+    return parse_database("person(alice).")
+
+
+@pytest.fixture(scope="session")
+def father_universe(father_database):
+    return Universe.for_database(
+        father_database, extra_constants=[Constant("bob")], max_nulls=1
+    )
+
+
+@pytest.fixture(scope="session")
+def query_no_bob_father():
+    return parse_query("? :- not hasFather(alice, bob)")
+
+
+@pytest.fixture(scope="session")
+def query_not_abnormal():
+    return parse_query("? :- not abnormal(alice)")

@@ -1,0 +1,56 @@
+"""Solving 2-QBF declaratively (Sections 5.3 and 7.1).
+
+Encodes a 2-QBF∃ formula as a database, runs the fixed weakly-acyclic rule
+set, and compares the stable-model answer with brute force.
+
+Run with:  python examples/qbf_solving.py
+"""
+
+from __future__ import annotations
+
+from repro.encodings import (
+    QbfLiteral,
+    TwoQbfExists,
+    decide_exists_forall_sms,
+    qbf_brave_query,
+    qbf_database,
+    qbf_rules,
+)
+
+
+def main() -> None:
+    # ∃x ∀y ((x ∧ y) ∨ (x ∧ ¬y))  — satisfiable with x = true.
+    formula = TwoQbfExists(
+        exists_variables=("x",),
+        forall_variables=("y",),
+        terms=(
+            (QbfLiteral("x"), QbfLiteral("y")),
+            (QbfLiteral("x"), QbfLiteral("y", positive=False)),
+        ),
+    )
+    print("Formula: exists x forall y. (x & y) | (x & ~y)")
+    print("Database encoding D_phi:")
+    for atom in qbf_database(formula).sorted_atoms():
+        print("   ", atom)
+    print("Fixed rule set Sigma (independent of the formula):")
+    for rule in qbf_rules():
+        print("   ", rule)
+
+    print("\nBrute force      :", formula.is_satisfiable())
+    print("Via SMS-QAns     :", decide_exists_forall_sms(formula))
+
+    query = qbf_brave_query()
+    print(
+        "Via WATGD_b query:",
+        query.holds(qbf_database(formula), semantics="brave", max_nulls=0),
+    )
+
+    # ∃x ∀y (x ∧ y) — not satisfiable (y = false defeats it).
+    hard = TwoQbfExists(("x",), ("y",), ((QbfLiteral("x"), QbfLiteral("y")),))
+    print("\nFormula: exists x forall y. (x & y)")
+    print("Brute force      :", hard.is_satisfiable())
+    print("Via SMS-QAns     :", decide_exists_forall_sms(hard))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim so the package can be installed where `wheel` is unavailable."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""The chase procedure and the chase-based operational semantics.
+
+This subpackage provides the substrate used throughout the paper's proofs and
+discussion: the restricted and oblivious chase for positive TGDs, explicit
+chase-size bounds for weakly-acyclic sets (Lemma 8 / Proposition 9), and the
+operational stable model semantics of Baget et al. that the paper compares
+against in Section 1.
+"""
+
+from .chase import ChaseResult, ChaseStep, oblivious_chase, restricted_chase
+from .operational import is_operational_stable_model, operational_stable_models
+from .termination import chase_size_bound, chase_value_bound, stable_model_size_bound
+
+__all__ = [
+    "ChaseResult",
+    "ChaseStep",
+    "chase_size_bound",
+    "chase_value_bound",
+    "is_operational_stable_model",
+    "oblivious_chase",
+    "operational_stable_models",
+    "restricted_chase",
+    "stable_model_size_bound",
+]

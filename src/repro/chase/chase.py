@@ -1,0 +1,207 @@
+"""The chase procedure for (positive) TGDs.
+
+The chase is the classical tool for reasoning with TGDs: starting from a
+database it repeatedly repairs violated dependencies by adding new atoms,
+inventing fresh labelled nulls for existentially quantified variables.  Two
+variants are provided:
+
+* the **restricted** (standard) chase, which fires a trigger only when its
+  head is not already satisfied — this is the variant to which the Lemma 8
+  bound refers;
+* the **oblivious** chase, which fires every trigger exactly once regardless
+  of satisfaction — coarser, but useful as an over-approximation.
+
+Termination is guaranteed for weakly-acyclic rule sets; for other sets the
+caller must supply a step budget (``max_steps``) and the chase raises
+:class:`~repro.errors.SolverLimitError` when the budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..classes.position_graph import is_weakly_acyclic
+from ..core.atoms import Atom, apply_substitution
+from ..core.database import Database
+from ..core.homomorphism import AtomIndex, extend_homomorphisms, ground_matches
+from ..core.interpretation import Interpretation
+from ..core.rules import NTGD, RuleSet
+from ..core.terms import NullFactory, Variable
+from ..errors import SolverLimitError, UnsupportedClassError
+
+__all__ = ["ChaseResult", "ChaseStep", "restricted_chase", "oblivious_chase"]
+
+
+@dataclass(frozen=True)
+class ChaseStep:
+    """One firing of a trigger during the chase."""
+
+    rule: NTGD
+    assignment: tuple[tuple, ...]
+    added: tuple[Atom, ...]
+
+
+@dataclass(frozen=True)
+class ChaseResult:
+    """The outcome of a chase run.
+
+    Attributes
+    ----------
+    atoms:
+        The (finite) set of atoms produced.
+    steps:
+        The sequence of trigger firings, in order.
+    terminated:
+        ``True`` if a fixpoint was reached, ``False`` if the run stopped
+        because the step budget was exhausted (only possible when the caller
+        opted into running a non-terminating chase with a budget).
+    """
+
+    atoms: frozenset[Atom]
+    steps: tuple[ChaseStep, ...] = field(default_factory=tuple)
+    terminated: bool = True
+
+    def interpretation(self) -> Interpretation:
+        return Interpretation(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def nulls_invented(self) -> int:
+        return sum(
+            1
+            for step in self.steps
+            for atom in step.added
+            for _ in atom.nulls
+        )
+
+
+def _prepare(rules: RuleSet | Sequence[NTGD]) -> RuleSet:
+    rule_set = rules if isinstance(rules, RuleSet) else RuleSet(tuple(rules))
+    for rule in rule_set:
+        if not rule.is_positive:
+            raise UnsupportedClassError(
+                "the chase operates on positive TGDs; strip negation first "
+                "or use repro.chase.operational for NTGDs"
+            )
+    return rule_set
+
+
+def _fire(
+    rule: NTGD,
+    assignment: dict,
+    nulls: NullFactory,
+) -> tuple[dict, tuple[Atom, ...]]:
+    extended = dict(assignment)
+    for variable in sorted(rule.existential_variables, key=lambda v: v.name):
+        extended[variable] = nulls.fresh()
+    added = tuple(apply_substitution(atom, extended) for atom in rule.head)
+    return extended, added
+
+
+def restricted_chase(
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    max_steps: Optional[int] = None,
+    require_termination_guarantee: bool = True,
+) -> ChaseResult:
+    """Run the restricted (standard) chase of *database* with *rules*.
+
+    Parameters
+    ----------
+    database:
+        The initial instance.
+    rules:
+        A set of positive TGDs.
+    max_steps:
+        Optional budget on the number of trigger firings.
+    require_termination_guarantee:
+        When ``True`` (default) the rule set must be weakly acyclic unless a
+        step budget is supplied; this protects callers from accidentally
+        launching a non-terminating chase.
+    """
+    rule_set = _prepare(rules)
+    if require_termination_guarantee and max_steps is None:
+        if not is_weakly_acyclic(rule_set):
+            raise UnsupportedClassError(
+                "rule set is not weakly acyclic; pass max_steps to chase anyway"
+            )
+    atoms: set[Atom] = set(database.atoms)
+    index = AtomIndex(atoms)
+    nulls = NullFactory(prefix="n")
+    steps: list[ChaseStep] = []
+    fired: set[tuple[int, tuple]] = set()
+    rule_ids = {id(rule): position for position, rule in enumerate(rule_set)}
+
+    progress = True
+    while progress:
+        progress = False
+        for rule in rule_set:
+            for match in list(ground_matches(rule.body, index)):
+                assignment = match.as_dict()
+                satisfied = next(
+                    extend_homomorphisms(list(rule.head), index, partial=assignment),
+                    None,
+                )
+                if satisfied is not None:
+                    continue
+                if max_steps is not None and len(steps) >= max_steps:
+                    return ChaseResult(frozenset(atoms), tuple(steps), terminated=False)
+                extended, added = _fire(rule, assignment, nulls)
+                new_atoms = tuple(atom for atom in added if atom not in atoms)
+                atoms.update(added)
+                index.update(added)
+                steps.append(
+                    ChaseStep(rule, tuple(sorted(assignment.items(), key=lambda kv: str(kv[0]))), added)
+                )
+                fired.add((rule_ids[id(rule)], match.assignment))
+                if new_atoms:
+                    progress = True
+    return ChaseResult(frozenset(atoms), tuple(steps), terminated=True)
+
+
+def oblivious_chase(
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    max_steps: Optional[int] = None,
+    require_termination_guarantee: bool = True,
+) -> ChaseResult:
+    """Run the oblivious chase: every trigger fires exactly once.
+
+    The oblivious chase invents a fresh null for every trigger even when the
+    head is already satisfied, so its result is a superset (up to
+    homomorphism) of the restricted chase result.
+    """
+    rule_set = _prepare(rules)
+    if require_termination_guarantee and max_steps is None:
+        if not is_weakly_acyclic(rule_set):
+            raise UnsupportedClassError(
+                "rule set is not weakly acyclic; pass max_steps to chase anyway"
+            )
+    atoms: set[Atom] = set(database.atoms)
+    index = AtomIndex(atoms)
+    nulls = NullFactory(prefix="o")
+    steps: list[ChaseStep] = []
+    fired: set[tuple[int, tuple]] = set()
+
+    progress = True
+    while progress:
+        progress = False
+        for rule_position, rule in enumerate(rule_set):
+            for match in list(ground_matches(rule.body, index)):
+                key = (rule_position, match.assignment)
+                if key in fired:
+                    continue
+                if max_steps is not None and len(steps) >= max_steps:
+                    return ChaseResult(frozenset(atoms), tuple(steps), terminated=False)
+                assignment = match.as_dict()
+                extended, added = _fire(rule, assignment, nulls)
+                atoms.update(added)
+                index.update(added)
+                fired.add(key)
+                steps.append(
+                    ChaseStep(rule, tuple(sorted(assignment.items(), key=lambda kv: str(kv[0]))), added)
+                )
+                progress = True
+    return ChaseResult(frozenset(atoms), tuple(steps), terminated=True)

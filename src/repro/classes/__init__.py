@@ -1,0 +1,39 @@
+"""Syntactic classes of NTGDs studied in the paper (Section 4).
+
+* weak acyclicity — the class WATGD¬ (and WATGD¬,∨) for which query answering
+  under the new stable model semantics stays decidable (Theorem 3);
+* stickiness — the class STGD¬, undecidable under the new semantics
+  (Theorem 4), with the Figure 1 marking procedure;
+* guardedness — the class GTGD¬, surprisingly undecidable under the new
+  semantics (Theorem 5).
+"""
+
+from .guardedness import guard_of, guardedness_report, is_guarded, is_guarded_rule
+from .position_graph import (
+    Position,
+    PositionEdge,
+    PositionGraph,
+    build_position_graph,
+    is_weakly_acyclic,
+    is_weakly_acyclic_disjunctive,
+    rank_of_positions,
+)
+from .stickiness import MarkingResult, compute_marking, is_sticky, sticky_witness
+
+__all__ = [
+    "MarkingResult",
+    "Position",
+    "PositionEdge",
+    "PositionGraph",
+    "build_position_graph",
+    "compute_marking",
+    "guard_of",
+    "guardedness_report",
+    "is_guarded",
+    "is_guarded_rule",
+    "is_sticky",
+    "is_weakly_acyclic",
+    "is_weakly_acyclic_disjunctive",
+    "rank_of_positions",
+    "sticky_witness",
+]

@@ -1,0 +1,39 @@
+"""Guardedness (Section 4.3).
+
+An NTGD is *guarded* if some positive body atom — the guard — contains every
+variable of the body (variables of negative literals included; safety ensures
+they all occur in positive literals, but the guard must gather them in a
+single atom).  A rule set is guarded iff all its rules are.  The paper shows
+that, surprisingly, guardedness does **not** preserve decidability under the
+new stable model semantics (Theorem 5); this module only provides the
+syntactic membership test plus convenience inspection helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.atoms import Literal
+from ..core.rules import NTGD, RuleSet
+
+__all__ = ["is_guarded_rule", "is_guarded", "guard_of", "guardedness_report"]
+
+
+def is_guarded_rule(rule: NTGD) -> bool:
+    """``True`` iff *rule* has a guard atom."""
+    return rule.is_guarded()
+
+
+def guard_of(rule: NTGD) -> Literal | None:
+    """A guard literal of *rule*, or ``None`` when the rule is unguarded."""
+    return rule.guard() if rule.is_guarded() else None
+
+
+def is_guarded(rules: RuleSet | Sequence[NTGD]) -> bool:
+    """``True`` iff every rule of the set is guarded (class GTGD¬)."""
+    return all(is_guarded_rule(rule) for rule in rules)
+
+
+def guardedness_report(rules: RuleSet | Sequence[NTGD]) -> dict[int, Literal | None]:
+    """For each rule index, its guard literal (or ``None`` if unguarded)."""
+    return {index: guard_of(rule) for index, rule in enumerate(rules)}

@@ -1,0 +1,131 @@
+"""Stickiness and the marking procedure of Figure 1.
+
+A set of TGDs is *sticky* (Calì, Gottlob & Pieris) when, intuitively, terms
+bound to join variables always "stick" to the inferred atoms during the chase.
+The syntactic test is an inductive *marking* procedure on body variable
+occurrences:
+
+* **base step** — in every rule, mark each body variable that does **not**
+  occur in every head atom of that rule;
+* **inductive step** — propagate markings from heads to bodies: if a variable
+  occurs in the head of some rule at a position that is marked in the body of
+  some (possibly other) rule, then every body occurrence of that variable in
+  the first rule becomes marked (the propagation is by *position*, as
+  illustrated in Figure 1(b) of the paper).
+
+The set is sticky iff no rule contains two occurrences of a marked variable.
+For NTGDs, stickiness is checked after converting every negative literal into
+the corresponding positive atom (Section 4.2), i.e. on the rule bodies with
+negation signs erased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.atoms import Atom
+from ..core.rules import NTGD, RuleSet
+from ..core.terms import Variable
+from .position_graph import Position
+
+__all__ = ["MarkingResult", "compute_marking", "is_sticky", "sticky_witness"]
+
+
+@dataclass(frozen=True)
+class MarkingResult:
+    """The outcome of the marking procedure.
+
+    Attributes
+    ----------
+    marked_positions:
+        Positions ``p[i]`` such that some marked body-variable occurrence sits
+        at ``p[i]``; the inductive propagation step is driven by this set.
+    marked_occurrences:
+        Pairs ``(rule index, variable)`` such that the variable is marked in
+        the body of that rule.
+    """
+
+    marked_positions: frozenset[Position]
+    marked_occurrences: frozenset[tuple[int, Variable]]
+
+    def is_marked(self, rule_index: int, variable: Variable) -> bool:
+        return (rule_index, variable) in self.marked_occurrences
+
+
+def _body_atoms(rule: NTGD) -> tuple[Atom, ...]:
+    """Body atoms with negation erased (Section 4.2 treatment of NTGDs)."""
+    return tuple(literal.atom for literal in rule.body)
+
+
+def _positions_of_variable(atoms: Sequence[Atom], variable: Variable) -> set[Position]:
+    positions: set[Position] = set()
+    for atom in atoms:
+        for index, term in enumerate(atom.terms, start=1):
+            if term == variable:
+                positions.add(Position(atom.predicate, index))
+    return positions
+
+
+def compute_marking(rules: RuleSet | Sequence[NTGD]) -> MarkingResult:
+    """Run the marking procedure of Figure 1 on a rule set."""
+    rule_list = list(rules)
+    marked: set[tuple[int, Variable]] = set()
+
+    # Base step: mark body variables not occurring in every head atom.
+    for index, rule in enumerate(rule_list):
+        body_vars = {
+            variable
+            for atom in _body_atoms(rule)
+            for variable in atom.variables
+        }
+        for variable in body_vars:
+            if not all(variable in atom.variables for atom in rule.head):
+                marked.add((index, variable))
+
+    def marked_positions() -> set[Position]:
+        positions: set[Position] = set()
+        for index, rule in enumerate(rule_list):
+            for variable in {v for (i, v) in marked if i == index}:
+                positions |= _positions_of_variable(_body_atoms(rule), variable)
+        return positions
+
+    # Inductive step: propagate from marked body positions to the bodies of
+    # rules whose head places a frontier variable in such a position.
+    changed = True
+    while changed:
+        changed = False
+        positions = marked_positions()
+        for index, rule in enumerate(rule_list):
+            for variable in rule.frontier_variables:
+                if (index, variable) in marked:
+                    continue
+                head_positions = _positions_of_variable(rule.head, variable)
+                if head_positions & positions:
+                    marked.add((index, variable))
+                    changed = True
+    return MarkingResult(frozenset(marked_positions()), frozenset(marked))
+
+
+def sticky_witness(rules: RuleSet | Sequence[NTGD]) -> tuple[int, Variable] | None:
+    """A violation of stickiness, i.e. a rule with a doubly-occurring marked variable.
+
+    Returns ``(rule index, variable)`` or ``None`` when the set is sticky.
+    """
+    rule_list = list(rules)
+    marking = compute_marking(rule_list)
+    for index, rule in enumerate(rule_list):
+        counts: dict[Variable, int] = {}
+        for atom in _body_atoms(rule):
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    counts[term] = counts.get(term, 0) + 1
+        for variable, count in counts.items():
+            if count >= 2 and marking.is_marked(index, variable):
+                return (index, variable)
+    return None
+
+
+def is_sticky(rules: RuleSet | Sequence[NTGD]) -> bool:
+    """``True`` iff the (N)TGD set is sticky (class STGD¬)."""
+    return sticky_witness(rules) is None

@@ -1,0 +1,190 @@
+"""Predicates, atoms and literals.
+
+An atom is ``p(t1, ..., tn)`` for a predicate ``p`` of arity ``n`` and terms
+``ti``.  A literal is an atom (positive literal) or a negated atom (negative
+literal, written ``not p(t)`` in the concrete syntax).  Following the paper,
+negation is *default* negation interpreted under the stable model semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .terms import (
+    Constant,
+    FunctionTerm,
+    Null,
+    Term,
+    Variable,
+    is_ground_term,
+    term_sort_key,
+)
+
+__all__ = ["Predicate", "Atom", "Literal", "Substitution", "apply_substitution"]
+
+#: A substitution maps variables (and possibly nulls) to terms.
+Substitution = Mapping[Term, Term]
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """A relational symbol ``name/arity``."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("predicate name must be non-empty")
+        if self.arity < 0:
+            raise ValueError("predicate arity must be non-negative")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}/{self.arity}"
+
+    def __call__(self, *terms: Term) -> "Atom":
+        """Convenience constructor: ``p(x, y)`` builds an :class:`Atom`."""
+        return Atom(self, tuple(terms))
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atomic formula ``p(t1, ..., tn)``."""
+
+    predicate: Predicate
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+        if len(self.terms) != self.predicate.arity:
+            raise ValueError(
+                f"predicate {self.predicate} applied to {len(self.terms)} terms"
+            )
+
+    @property
+    def is_ground(self) -> bool:
+        """``True`` iff the atom contains no variables."""
+        return all(is_ground_term(term) for term in self.terms)
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """The set of variables occurring in the atom."""
+        return frozenset(term for term in self.terms if isinstance(term, Variable))
+
+    @property
+    def constants(self) -> frozenset[Constant]:
+        """The set of constants occurring in the atom (including inside functions)."""
+        found: set[Constant] = set()
+        stack: list[Term] = list(self.terms)
+        while stack:
+            term = stack.pop()
+            if isinstance(term, Constant):
+                found.add(term)
+            elif isinstance(term, FunctionTerm):
+                stack.extend(term.arguments)
+        return frozenset(found)
+
+    @property
+    def nulls(self) -> frozenset[Null]:
+        """The set of labelled nulls occurring in the atom."""
+        found: set[Null] = set()
+        stack: list[Term] = list(self.terms)
+        while stack:
+            term = stack.pop()
+            if isinstance(term, Null):
+                found.add(term)
+            elif isinstance(term, FunctionTerm):
+                stack.extend(term.arguments)
+        return frozenset(found)
+
+    def rename_predicate(self, predicate: Predicate) -> "Atom":
+        """Return a copy of the atom over *predicate* (same arity required)."""
+        return Atom(predicate, self.terms)
+
+    def positive(self) -> "Literal":
+        """This atom as a positive literal."""
+        return Literal(self, positive=True)
+
+    def negated(self) -> "Literal":
+        """This atom as a negative (default-negated) literal."""
+        return Literal(self, positive=False)
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return self.predicate.name
+        args = ",".join(str(term) for term in self.terms)
+        return f"{self.predicate.name}({args})"
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key (by predicate name, arity, then terms)."""
+        return (
+            self.predicate.name,
+            self.predicate.arity,
+            tuple(term_sort_key(term) for term in self.terms),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A positive or negative (default-negated) literal."""
+
+    atom: Atom
+    positive: bool = True
+
+    @property
+    def predicate(self) -> Predicate:
+        return self.atom.predicate
+
+    @property
+    def terms(self) -> tuple[Term, ...]:
+        return self.atom.terms
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return self.atom.variables
+
+    @property
+    def is_ground(self) -> bool:
+        return self.atom.is_ground
+
+    def negate(self) -> "Literal":
+        """The complementary literal."""
+        return Literal(self.atom, not self.positive)
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"
+
+    def sort_key(self) -> tuple:
+        return (0 if self.positive else 1, self.atom.sort_key())
+
+
+def _substitute_term(term: Term, substitution: Substitution) -> Term:
+    if term in substitution:
+        return substitution[term]
+    if isinstance(term, FunctionTerm):
+        return FunctionTerm(
+            term.function,
+            tuple(_substitute_term(argument, substitution) for argument in term.arguments),
+        )
+    return term
+
+
+def apply_substitution(atom: Atom, substitution: Substitution) -> Atom:
+    """Apply *substitution* to *atom* and return the resulting atom.
+
+    Terms not in the domain of the substitution are left unchanged; function
+    terms are substituted recursively in their arguments.
+    """
+    return Atom(
+        atom.predicate,
+        tuple(_substitute_term(term, substitution) for term in atom.terms),
+    )
+
+
+def atoms_variables(atoms: Iterable[Atom]) -> frozenset[Variable]:
+    """The set of variables occurring in a collection of atoms."""
+    result: set[Variable] = set()
+    for atom in atoms:
+        result.update(atom.variables)
+    return frozenset(result)

@@ -1,0 +1,98 @@
+"""Databases: finite sets of ground atoms over constants.
+
+A database ``D`` over a schema ``R`` is a finite set of ``R``-atoms whose terms
+are constants (``dom(D) ⊂ C``).  Databases are immutable and hashable so that
+they can serve as dictionary keys (e.g. for memoising reductions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import GroundingError
+from .atoms import Atom, Predicate
+from .terms import Constant
+
+__all__ = ["Database"]
+
+
+@dataclass(frozen=True)
+class Database:
+    """An immutable finite set of ground atoms over constants."""
+
+    atoms: frozenset[Atom] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        atoms = frozenset(self.atoms)
+        for atom in atoms:
+            if not atom.is_ground:
+                raise GroundingError(f"database atom {atom} is not ground")
+            for term in atom.terms:
+                if not isinstance(term, Constant):
+                    raise GroundingError(
+                        f"database atom {atom} contains the non-constant term {term}"
+                    )
+        object.__setattr__(self, "atoms", atoms)
+
+    # ------------------------------------------------------------ collections
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self.atoms
+
+    def __or__(self, other: "Database") -> "Database":
+        return Database(self.atoms | other.atoms)
+
+    # ----------------------------------------------------------------- views
+    @property
+    def constants(self) -> frozenset[Constant]:
+        """``dom(D)``: the constants occurring in the database."""
+        found: set[Constant] = set()
+        for atom in self.atoms:
+            for term in atom.terms:
+                found.add(term)  # type: ignore[arg-type]
+        return frozenset(found)
+
+    @property
+    def predicates(self) -> frozenset[Predicate]:
+        """The predicates occurring in the database."""
+        return frozenset(atom.predicate for atom in self.atoms)
+
+    def atoms_of(self, predicate: Predicate) -> frozenset[Atom]:
+        """All database atoms over *predicate*."""
+        return frozenset(atom for atom in self.atoms if atom.predicate == predicate)
+
+    def restrict(self, predicates: Iterable[Predicate]) -> "Database":
+        """The sub-database over the given predicates."""
+        wanted = set(predicates)
+        return Database(frozenset(a for a in self.atoms if a.predicate in wanted))
+
+    def with_atoms(self, atoms: Iterable[Atom]) -> "Database":
+        """A new database extended with *atoms*."""
+        return Database(self.atoms | frozenset(atoms))
+
+    def without_atoms(self, atoms: Iterable[Atom]) -> "Database":
+        """A new database with *atoms* removed."""
+        return Database(self.atoms - frozenset(atoms))
+
+    def sorted_atoms(self) -> list[Atom]:
+        """The atoms in a deterministic order (useful for printing/tests)."""
+        return sorted(self.atoms, key=lambda atom: atom.sort_key())
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(atom) for atom in self.sorted_atoms()) + "}"
+
+    # ----------------------------------------------------------- constructors
+    @staticmethod
+    def of(atoms: Iterable[Atom]) -> "Database":
+        """Build a database from an iterable of ground atoms."""
+        return Database(frozenset(atoms))
+
+    @staticmethod
+    def empty() -> "Database":
+        return Database(frozenset())

@@ -1,0 +1,281 @@
+"""Homomorphisms between sets of literals.
+
+A homomorphism (paper, Section 2) from a set of literals ``L`` to a set of
+literals ``L'`` is a mapping on terms that is the identity on constants and
+maps every (positive or negative) literal of ``L`` to a literal of ``L'``.
+In all the algorithms of the paper the source contains variables (rule bodies,
+queries) and the target is ground (an interpretation), and negative literals
+are checked against the target interpretation by *absence* of the
+corresponding positive atom; this module implements exactly that, via a
+backtracking matcher over a predicate index.
+
+Nulls occurring in the *source* are treated like variables (they may be mapped
+to any term), which is what is needed when checking whether one chase result
+maps into another; nulls in the *target* are plain domain elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
+
+from .atoms import Atom, Literal, Predicate, apply_substitution
+from .terms import Constant, FunctionTerm, GroundTerm, Null, Term, Variable
+
+__all__ = [
+    "AtomIndex",
+    "match_terms",
+    "match_atom",
+    "homomorphisms",
+    "extend_homomorphisms",
+    "has_homomorphism",
+    "embeds",
+]
+
+#: A (partial) homomorphism: maps variables and nulls to ground terms.
+Homomorphism = Dict[Term, Term]
+
+
+class AtomIndex:
+    """An index of ground atoms by predicate (and by first constant argument).
+
+    The stable-model engines repeatedly look for all atoms of a predicate that
+    agree with a partially instantiated pattern; indexing by predicate keeps
+    that operation proportional to the number of candidate atoms instead of
+    the size of the whole interpretation.
+    """
+
+    def __init__(self, atoms: Iterable[Atom] = ()):  # noqa: D401
+        self._by_predicate: dict[Predicate, list[Atom]] = {}
+        self._all: set[Atom] = set()
+        for atom in atoms:
+            self.add(atom)
+
+    def add(self, atom: Atom) -> None:
+        if atom in self._all:
+            return
+        self._all.add(atom)
+        self._by_predicate.setdefault(atom.predicate, []).append(atom)
+
+    def update(self, atoms: Iterable[Atom]) -> None:
+        for atom in atoms:
+            self.add(atom)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._all
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._all)
+
+    def candidates(self, predicate: Predicate) -> Sequence[Atom]:
+        """All indexed atoms over *predicate*."""
+        return self._by_predicate.get(predicate, ())
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset(self._all)
+
+
+def _is_flexible(term: Term) -> bool:
+    """Source terms that may be (re)mapped: variables and labelled nulls."""
+    return isinstance(term, (Variable, Null))
+
+
+def match_terms(
+    pattern: Term, target: Term, assignment: Homomorphism
+) -> Optional[Homomorphism]:
+    """Try to extend *assignment* so that *pattern* maps onto *target*.
+
+    Returns the extended assignment, or ``None`` if matching is impossible.
+    The input assignment is never mutated.
+    """
+    if _is_flexible(pattern):
+        bound = assignment.get(pattern)
+        if bound is None:
+            extended = dict(assignment)
+            extended[pattern] = target
+            return extended
+        return assignment if bound == target else None
+    if isinstance(pattern, Constant):
+        return assignment if pattern == target else None
+    if isinstance(pattern, FunctionTerm):
+        if not isinstance(target, FunctionTerm) or pattern.function != target.function:
+            return None
+        if len(pattern.arguments) != len(target.arguments):
+            return None
+        current: Optional[Homomorphism] = assignment
+        for sub_pattern, sub_target in zip(pattern.arguments, target.arguments):
+            current = match_terms(sub_pattern, sub_target, current)
+            if current is None:
+                return None
+        return current
+    raise TypeError(f"unexpected pattern term {pattern!r}")  # pragma: no cover
+
+
+def match_atom(
+    pattern: Atom, target: Atom, assignment: Homomorphism
+) -> Optional[Homomorphism]:
+    """Try to extend *assignment* so that *pattern* maps onto *target*."""
+    if pattern.predicate != target.predicate:
+        return None
+    current: Optional[Homomorphism] = assignment
+    for pattern_term, target_term in zip(pattern.terms, target.terms):
+        current = match_terms(pattern_term, target_term, current)
+        if current is None:
+            return None
+    return current
+
+
+def _ordered_atoms(atoms: Sequence[Atom], partial: Mapping[Term, Term]) -> list[Atom]:
+    """Order pattern atoms so that the most constrained ones are matched first."""
+
+    def boundness(atom: Atom) -> tuple[int, int]:
+        unbound = sum(
+            1 for term in atom.terms if _is_flexible(term) and term not in partial
+        )
+        return (unbound, -len(atom.terms))
+
+    return sorted(atoms, key=boundness)
+
+
+def extend_homomorphisms(
+    positive_atoms: Sequence[Atom],
+    index: AtomIndex,
+    partial: Optional[Mapping[Term, Term]] = None,
+    negative_atoms: Sequence[Atom] = (),
+    negative_against: Optional[AtomIndex] = None,
+) -> Iterator[Homomorphism]:
+    """Enumerate all homomorphisms mapping the pattern into *index*.
+
+    Parameters
+    ----------
+    positive_atoms:
+        Atoms that must map into *index*.
+    index:
+        The target atoms (typically ``I⁺``).
+    partial:
+        A partial assignment that every produced homomorphism must extend.
+    negative_atoms:
+        Atoms whose images must be *absent* from ``negative_against`` (used
+        for default-negated body literals).  All their variables must be bound
+        by the positive part or by *partial* (safety).
+    negative_against:
+        The index against which negative atoms are checked; defaults to
+        *index*.
+    """
+    base: Homomorphism = dict(partial) if partial else {}
+    check_against = negative_against if negative_against is not None else index
+    ordered = _ordered_atoms(positive_atoms, base)
+
+    def backtrack(position: int, assignment: Homomorphism) -> Iterator[Homomorphism]:
+        if position == len(ordered):
+            for negative in negative_atoms:
+                image = apply_substitution(negative, assignment)
+                if not image.is_ground:
+                    raise ValueError(
+                        f"negative atom {negative} not fully bound (unsafe pattern)"
+                    )
+                if image in check_against:
+                    return
+            yield dict(assignment)
+            return
+        pattern = ordered[position]
+        for candidate in index.candidates(pattern.predicate):
+            extended = match_atom(pattern, candidate, assignment)
+            if extended is not None:
+                yield from backtrack(position + 1, extended)
+
+    yield from backtrack(0, base)
+
+
+def homomorphisms(
+    source: Sequence[Literal] | Sequence[Atom],
+    target: Iterable[Atom] | AtomIndex,
+    partial: Optional[Mapping[Term, Term]] = None,
+) -> Iterator[Homomorphism]:
+    """Enumerate homomorphisms from a conjunction of literals into a ground set.
+
+    Positive literals must map onto atoms of *target*; negative literals must
+    map onto atoms absent from *target*.
+    """
+    index = target if isinstance(target, AtomIndex) else AtomIndex(target)
+    positive: list[Atom] = []
+    negative: list[Atom] = []
+    for item in source:
+        if isinstance(item, Literal):
+            (positive if item.positive else negative).append(item.atom)
+        else:
+            positive.append(item)
+    yield from extend_homomorphisms(positive, index, partial, tuple(negative))
+
+
+def has_homomorphism(
+    source: Sequence[Literal] | Sequence[Atom],
+    target: Iterable[Atom] | AtomIndex,
+    partial: Optional[Mapping[Term, Term]] = None,
+) -> bool:
+    """``True`` iff at least one homomorphism exists."""
+    return next(homomorphisms(source, target, partial), None) is not None
+
+
+def embeds(source: Iterable[Atom], target: Iterable[Atom] | AtomIndex) -> bool:
+    """``True`` iff the set of (possibly null-containing) atoms maps into target.
+
+    Nulls of the source are treated as variables, so this realises the
+    standard "homomorphically embeds" check used to compare chase results.
+    """
+    return has_homomorphism(list(source), target)
+
+
+@dataclass(frozen=True)
+class GroundMatch:
+    """A successful ground instantiation of a rule body.
+
+    Attributes
+    ----------
+    assignment:
+        The homomorphism used for the body.
+    positive:
+        The ground positive body atoms (all present in the target).
+    negative:
+        The ground negative body atoms (all absent from the target).
+    """
+
+    assignment: tuple[tuple[Term, Term], ...]
+    positive: tuple[Atom, ...]
+    negative: tuple[Atom, ...]
+
+    def as_dict(self) -> Homomorphism:
+        return dict(self.assignment)
+
+
+def ground_matches(
+    body: Sequence[Literal],
+    target: Iterable[Atom] | AtomIndex,
+    negative_against: Optional[Iterable[Atom] | AtomIndex] = None,
+) -> Iterator[GroundMatch]:
+    """Enumerate ground instantiations of *body* supported by *target*.
+
+    This is the workhorse used by the immediate-consequence operator and by
+    the chase: it returns, for every homomorphism of the positive body into
+    the target whose negative images are absent (from ``negative_against`` or
+    the target itself), the corresponding ground body.
+    """
+    index = target if isinstance(target, AtomIndex) else AtomIndex(target)
+    if negative_against is None:
+        check = index
+    elif isinstance(negative_against, AtomIndex):
+        check = negative_against
+    else:
+        check = AtomIndex(negative_against)
+    positive = [literal.atom for literal in body if literal.positive]
+    negative = [literal.atom for literal in body if not literal.positive]
+    for assignment in extend_homomorphisms(
+        positive, index, None, tuple(negative), negative_against=check
+    ):
+        ground_positive = tuple(apply_substitution(a, assignment) for a in positive)
+        ground_negative = tuple(apply_substitution(a, assignment) for a in negative)
+        yield GroundMatch(tuple(sorted(assignment.items(), key=lambda kv: str(kv[0]))),
+                          ground_positive, ground_negative)

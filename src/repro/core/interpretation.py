@@ -1,0 +1,133 @@
+"""Two-valued interpretations.
+
+The paper works with total (two-valued) ``R``-interpretations: sets of
+``R``-literals over constants and nulls such that for every atom over the
+domain of the interpretation either the atom or its negation belongs to the
+interpretation.  Materialising the negative part is hopeless even for modest
+domains, so an :class:`Interpretation` stores only the *positive* part ``I⁺``
+and the *domain*; the negative part ``I⁻`` is implicit ("everything over the
+domain that is not positive").  This is exactly the information needed by the
+algorithms of the paper (homomorphism checks, the τ transformation, the
+immediate-consequence operator and the stability check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import GroundingError
+from .atoms import Atom, Literal, Predicate
+from .database import Database
+from .terms import GroundTerm
+
+__all__ = ["Interpretation"]
+
+
+def _atom_domain(atom: Atom) -> frozenset[GroundTerm]:
+    return frozenset(atom.terms)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Interpretation:
+    """A total interpretation, stored via its positive part and its domain.
+
+    Parameters
+    ----------
+    positive:
+        The set ``I⁺`` of atoms that are true.
+    domain:
+        The domain of the interpretation.  It always contains every term
+        occurring in ``positive`` and may contain additional isolated
+        elements (e.g. constants mentioned only in negative facts).
+    """
+
+    positive: frozenset[Atom] = field(default_factory=frozenset)
+    domain: frozenset[GroundTerm] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        positive = frozenset(self.positive)
+        domain = set(self.domain)
+        for atom in positive:
+            if not atom.is_ground:
+                raise GroundingError(f"interpretation atom {atom} is not ground")
+            domain.update(atom.terms)  # type: ignore[arg-type]
+        object.__setattr__(self, "positive", positive)
+        object.__setattr__(self, "domain", frozenset(domain))
+
+    # --------------------------------------------------------------- queries
+    def __contains__(self, item: Atom | Literal) -> bool:
+        """Membership of a ground literal (or atom, read as a positive literal)."""
+        if isinstance(item, Literal):
+            return self.satisfies_literal(item)
+        return item in self.positive
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.positive)
+
+    def __len__(self) -> int:
+        return len(self.positive)
+
+    def satisfies_literal(self, literal: Literal) -> bool:
+        """Truth of a ground literal in this interpretation.
+
+        A negative ground literal ``not p(t)`` holds iff ``p(t)`` is not in the
+        positive part.  (Terms outside the domain are treated as absent, which
+        matches the convention used throughout the paper's algorithms.)
+        """
+        if not literal.is_ground:
+            raise GroundingError(f"literal {literal} is not ground")
+        if literal.positive:
+            return literal.atom in self.positive
+        return literal.atom not in self.positive
+
+    def atoms_of(self, predicate: Predicate) -> frozenset[Atom]:
+        """The positive atoms over *predicate*."""
+        return frozenset(a for a in self.positive if a.predicate == predicate)
+
+    @property
+    def predicates(self) -> frozenset[Predicate]:
+        return frozenset(atom.predicate for atom in self.positive)
+
+    # ------------------------------------------------------------ operations
+    def with_atoms(self, atoms: Iterable[Atom]) -> "Interpretation":
+        """Extend the positive part (and the domain) with *atoms*."""
+        return Interpretation(self.positive | frozenset(atoms), self.domain)
+
+    def without_atoms(self, atoms: Iterable[Atom]) -> "Interpretation":
+        """Remove *atoms* from the positive part, keeping the domain fixed."""
+        return Interpretation(self.positive - frozenset(atoms), self.domain)
+
+    def with_domain(self, terms: Iterable[GroundTerm]) -> "Interpretation":
+        """Extend the domain with additional isolated elements."""
+        return Interpretation(self.positive, self.domain | frozenset(terms))
+
+    def restrict_predicates(self, predicates: Iterable[Predicate]) -> "Interpretation":
+        wanted = set(predicates)
+        return Interpretation(
+            frozenset(a for a in self.positive if a.predicate in wanted), self.domain
+        )
+
+    def sorted_atoms(self) -> list[Atom]:
+        return sorted(self.positive, key=lambda atom: atom.sort_key())
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(atom) for atom in self.sorted_atoms()) + "}"
+
+    # ---------------------------------------------------------- constructors
+    @staticmethod
+    def from_database(database: Database) -> "Interpretation":
+        """The interpretation whose positive part is exactly the database."""
+        return Interpretation(frozenset(database.atoms))
+
+    @staticmethod
+    def of(atoms: Iterable[Atom], domain: Iterable[GroundTerm] = ()) -> "Interpretation":
+        return Interpretation(frozenset(atoms), frozenset(domain))
+
+    # --------------------------------------------------------------- algebra
+    def issubset_of(self, other: "Interpretation") -> bool:
+        """``True`` iff this positive part is included in the other's."""
+        return self.positive <= other.positive
+
+    def proper_subset_of(self, other: "Interpretation") -> bool:
+        return self.positive < other.positive

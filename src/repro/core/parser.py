@@ -1,0 +1,311 @@
+"""A concrete syntax for rules, databases and queries.
+
+The library can be driven entirely from Python objects, but a small
+datalog-style text syntax makes examples, tests and benchmarks far more
+readable.  The grammar is:
+
+* **Terms.** Identifiers beginning with an upper-case letter are variables
+  (``X``, ``Person``); identifiers beginning with a lower-case letter or a
+  digit, and double-quoted strings, are constants (``alice``, ``42``,
+  ``"New York"``); ``_:label`` is a labelled null.
+* **Atoms.** ``p(t1, ..., tn)`` or a bare identifier for a 0-ary predicate.
+* **Literals.** An atom, optionally preceded by ``not`` (default negation).
+* **NTGDs.** ``body -> head`` where ``body`` is a comma-separated list of
+  literals (may be empty) and ``head`` is a comma-separated list of atoms,
+  optionally prefixed by ``exists Z1,...,Zk .``.  Example::
+
+      person(X) -> exists Y. hasFather(X, Y)
+      hasFather(X,Y), hasFather(X,Z), not sameAs(Y,Z) -> abnormal(X)
+
+* **NDTGDs.** Head disjuncts separated by ``|``::
+
+      r(X) -> p(X) | s(X, X)
+
+* **Databases.** One fact per line / per ``.``: ``person(alice).``
+* **Queries.** ``?(X, Y) :- body`` for a binary query, ``? :- body`` for a
+  Boolean query.
+
+Lines may end with an optional ``.``; ``%`` and ``#`` start comments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import ParseError
+from .atoms import Atom, Literal, Predicate
+from .database import Database
+from .queries import ConjunctiveQuery
+from .rules import NDTGD, NTGD, DisjunctiveRuleSet, RuleSet
+from .terms import Constant, Null, Term, Variable
+
+__all__ = [
+    "parse_term",
+    "parse_atom",
+    "parse_literal",
+    "parse_rule",
+    "parse_disjunctive_rule",
+    "parse_program",
+    "parse_disjunctive_program",
+    "parse_database",
+    "parse_query",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>[%#][^\n]*)
+  | (?P<arrow>->)
+  | (?P<sep>:-)
+  | (?P<string>"[^"]*")
+  | (?P<null>_:[A-Za-z0-9_]+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*|\d+)
+  | (?P<punct>[(),.|?])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", text, position)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        token = self.next()
+        if token[1] != value:
+            raise ParseError(f"expected {value!r}, found {token[1]!r}", self.text, token[2])
+
+    def accept(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == value:
+            self.index += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _term_from_token(kind: str, value: str) -> Term:
+    if kind == "string":
+        return Constant(value[1:-1])
+    if kind == "null":
+        return Null(value[2:])
+    if kind == "name":
+        if value[0].isupper():
+            return Variable(value)
+        return Constant(value)
+    raise ParseError(f"cannot read a term from {value!r}")
+
+
+def _parse_term(stream: _TokenStream) -> Term:
+    kind, value, position = stream.next()
+    try:
+        return _term_from_token(kind, value)
+    except ParseError:
+        raise ParseError("expected a term", stream.text, position) from None
+
+
+def _parse_atom(stream: _TokenStream) -> Atom:
+    kind, value, position = stream.next()
+    if kind not in ("name", "string"):
+        raise ParseError("expected a predicate name", stream.text, position)
+    name = value[1:-1] if kind == "string" else value
+    terms: list[Term] = []
+    if stream.accept("("):
+        if not stream.accept(")"):
+            terms.append(_parse_term(stream))
+            while stream.accept(","):
+                terms.append(_parse_term(stream))
+            stream.expect(")")
+    return Atom(Predicate(name, len(terms)), tuple(terms))
+
+
+def _parse_literal(stream: _TokenStream) -> Literal:
+    token = stream.peek()
+    if token is not None and token[0] == "name" and token[1] == "not":
+        stream.next()
+        return _parse_atom(stream).negated()
+    return _parse_atom(stream).positive()
+
+
+def _parse_literal_list(stream: _TokenStream, stop_values: set[str]) -> list[Literal]:
+    literals: list[Literal] = []
+    token = stream.peek()
+    if token is None or token[1] in stop_values:
+        return literals
+    literals.append(_parse_literal(stream))
+    while stream.accept(","):
+        literals.append(_parse_literal(stream))
+    return literals
+
+
+def _parse_head_disjunct(stream: _TokenStream) -> list[Atom]:
+    # optional "exists V1,...,Vk ."
+    token = stream.peek()
+    if token is not None and token[0] == "name" and token[1] == "exists":
+        stream.next()
+        # existential variables are only documentation in this syntax: the
+        # actual existentials are the head variables absent from the body.
+        _parse_term(stream)
+        while stream.accept(","):
+            _parse_term(stream)
+        stream.expect(".")
+    atoms = [_parse_atom(stream)]
+    while stream.accept(","):
+        atoms.append(_parse_atom(stream))
+    return atoms
+
+
+# --------------------------------------------------------------------------
+# Public single-item parsers
+# --------------------------------------------------------------------------
+
+def parse_term(text: str) -> Term:
+    """Parse a single term."""
+    stream = _TokenStream(text)
+    term = _parse_term(stream)
+    if not stream.at_end():
+        raise ParseError("trailing input after term", text)
+    return term
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom."""
+    stream = _TokenStream(text)
+    atom = _parse_atom(stream)
+    stream.accept(".")
+    if not stream.at_end():
+        raise ParseError("trailing input after atom", text)
+    return atom
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse a single (possibly negated) literal."""
+    stream = _TokenStream(text)
+    literal = _parse_literal(stream)
+    if not stream.at_end():
+        raise ParseError("trailing input after literal", text)
+    return literal
+
+
+def _parse_rule_tokens(stream: _TokenStream, label: str) -> NDTGD:
+    body = _parse_literal_list(stream, {"->"})
+    stream.expect("->")
+    disjuncts = [_parse_head_disjunct(stream)]
+    while stream.accept("|"):
+        disjuncts.append(_parse_head_disjunct(stream))
+    stream.accept(".")
+    return NDTGD(tuple(body), tuple(tuple(d) for d in disjuncts), label=label)
+
+
+def parse_rule(text: str, label: str = "") -> NTGD:
+    """Parse a single NTGD; raises if the head is disjunctive."""
+    rule = parse_disjunctive_rule(text, label)
+    if rule.is_disjunctive:
+        raise ParseError("rule has a disjunctive head; use parse_disjunctive_rule", text)
+    return rule.as_ntgd()
+
+
+def parse_disjunctive_rule(text: str, label: str = "") -> NDTGD:
+    """Parse a single NDTGD."""
+    stream = _TokenStream(text)
+    rule = _parse_rule_tokens(stream, label or text.strip())
+    if not stream.at_end():
+        raise ParseError("trailing input after rule", text)
+    return rule
+
+
+# --------------------------------------------------------------------------
+# Programs, databases and queries
+# --------------------------------------------------------------------------
+
+def _statements(text: str) -> Iterator[str]:
+    for raw_line in text.splitlines():
+        line = raw_line.split("%")[0].split("#")[0].strip()
+        if line:
+            yield line
+
+
+def parse_program(text: str) -> RuleSet:
+    """Parse a newline-separated list of NTGDs."""
+    rules: list[NTGD] = []
+    for index, line in enumerate(_statements(text)):
+        rules.append(parse_rule(line, label=f"r{index}"))
+    return RuleSet(tuple(rules))
+
+
+def parse_disjunctive_program(text: str) -> DisjunctiveRuleSet:
+    """Parse a newline-separated list of NDTGDs."""
+    rules: list[NDTGD] = []
+    for index, line in enumerate(_statements(text)):
+        rules.append(parse_disjunctive_rule(line, label=f"r{index}"))
+    return DisjunctiveRuleSet(tuple(rules))
+
+
+def parse_database(text: str) -> Database:
+    """Parse a newline- or dot-separated list of ground facts."""
+    atoms: list[Atom] = []
+    for line in _statements(text):
+        stream = _TokenStream(line)
+        while not stream.at_end():
+            atoms.append(_parse_atom(stream))
+            if not stream.accept("."):
+                if not stream.at_end():
+                    raise ParseError("expected '.' between facts", line)
+    return Database.of(atoms)
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a query ``?(X, Y) :- literal, ..., literal`` (or ``? :- ...``)."""
+    stream = _TokenStream(text)
+    stream.expect("?")
+    answer_variables: list[Variable] = []
+    if stream.accept("("):
+        if not stream.accept(")"):
+            term = _parse_term(stream)
+            if not isinstance(term, Variable):
+                raise ParseError("answer positions must be variables", text)
+            answer_variables.append(term)
+            while stream.accept(","):
+                term = _parse_term(stream)
+                if not isinstance(term, Variable):
+                    raise ParseError("answer positions must be variables", text)
+                answer_variables.append(term)
+            stream.expect(")")
+    stream.expect(":-")
+    literals = _parse_literal_list(stream, set())
+    stream.accept(".")
+    if not stream.at_end():
+        raise ParseError("trailing input after query", text)
+    return ConjunctiveQuery(tuple(literals), tuple(answer_variables))

@@ -1,0 +1,361 @@
+"""Normal tuple-generating dependencies (NTGDs) and their disjunctive variant.
+
+An NTGD (paper, Section 2) is a constant-free first-order sentence
+
+    forall X forall Y ( phi(X, Y)  ->  exists Z  psi(X, Z) )
+
+where ``phi`` (the *body*) is a conjunction of literals and ``psi`` (the
+*head*) is a conjunction of atoms.  When the body has no negative literal the
+rule is a plain TGD.  Normal *disjunctive* TGDs (NDTGDs, Section 6) allow the
+head to be a disjunction of existentially quantified conjunctions of atoms.
+
+Rules in this library may mention constants (the paper excludes them only for
+technical clarity and notes that all results extend to rules with constants);
+the class checkers and translations treat constants like frontier-less terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import SafetyError
+from .atoms import Atom, Literal, Predicate, apply_substitution
+from .terms import Variable
+
+__all__ = ["NTGD", "NDTGD", "RuleSet", "DisjunctiveRuleSet", "head_disjunct_variables"]
+
+
+def _check_safety(body: Sequence[Literal], head_atoms: Iterable[Atom], label: str) -> None:
+    """Enforce the paper's safety conditions.
+
+    * every variable occurring in a negative body literal must also occur in a
+      positive body literal;
+    * every head variable that is not existentially quantified (i.e. every
+      *frontier* variable) must occur in a positive body literal.
+    """
+    positive_vars: set[Variable] = set()
+    for literal in body:
+        if literal.positive:
+            positive_vars.update(literal.variables)
+    for literal in body:
+        if not literal.positive and not literal.variables <= positive_vars:
+            missing = sorted(v.name for v in literal.variables - positive_vars)
+            raise SafetyError(
+                f"{label}: variables {missing} occur only in negative literals"
+            )
+
+
+@dataclass(frozen=True)
+class NTGD:
+    """A normal tuple-generating dependency.
+
+    Attributes
+    ----------
+    body:
+        The conjunction of body literals ``phi(X, Y)``.
+    head:
+        The conjunction of head atoms ``psi(X, Z)``.
+
+    Existentially quantified variables are implicit: every head variable that
+    does not occur in the body is existentially quantified (``Z``); every head
+    variable shared with the body is a *frontier* variable (``X``).
+    """
+
+    body: tuple[Literal, ...]
+    head: tuple[Atom, ...]
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        object.__setattr__(self, "head", tuple(self.head))
+        if not self.body:
+            # The paper allows bodyless rules in encodings (e.g. "-> exists X zero(X)").
+            # They are represented with an empty body and are trivially safe.
+            pass
+        if not self.head:
+            raise ValueError("an NTGD must have at least one head atom")
+        _check_safety(self.body, self.head, self.label or "NTGD")
+
+    # ------------------------------------------------------------------ views
+    @property
+    def positive_body(self) -> tuple[Literal, ...]:
+        """The positive literals of the body."""
+        return tuple(literal for literal in self.body if literal.positive)
+
+    @property
+    def negative_body(self) -> tuple[Literal, ...]:
+        """The negative literals of the body."""
+        return tuple(literal for literal in self.body if not literal.positive)
+
+    @property
+    def is_positive(self) -> bool:
+        """``True`` iff the rule is a plain TGD (no default negation)."""
+        return not self.negative_body
+
+    @property
+    def body_variables(self) -> frozenset[Variable]:
+        result: set[Variable] = set()
+        for literal in self.body:
+            result.update(literal.variables)
+        return frozenset(result)
+
+    @property
+    def head_variables(self) -> frozenset[Variable]:
+        result: set[Variable] = set()
+        for atom in self.head:
+            result.update(atom.variables)
+        return frozenset(result)
+
+    @property
+    def existential_variables(self) -> frozenset[Variable]:
+        """Head variables not occurring in the body (the ``Z`` of the paper)."""
+        return self.head_variables - self.body_variables
+
+    @property
+    def frontier_variables(self) -> frozenset[Variable]:
+        """Head variables shared with the body (the ``X`` of the paper)."""
+        return self.head_variables & self.body_variables
+
+    @property
+    def predicates(self) -> frozenset[Predicate]:
+        found = {literal.predicate for literal in self.body}
+        found.update(atom.predicate for atom in self.head)
+        return frozenset(found)
+
+    @property
+    def body_predicates(self) -> frozenset[Predicate]:
+        return frozenset(literal.predicate for literal in self.body)
+
+    @property
+    def head_predicates(self) -> frozenset[Predicate]:
+        return frozenset(atom.predicate for atom in self.head)
+
+    # ------------------------------------------------------------- operations
+    def strip_negation(self) -> "NTGD":
+        """The TGD obtained by dropping every negative body literal (Σ⁺)."""
+        return NTGD(self.positive_body, self.head, label=self.label)
+
+    def is_guarded(self) -> bool:
+        """``True`` iff some positive body atom contains all body variables."""
+        body_vars = self.body_variables
+        if not body_vars:
+            return True
+        return any(
+            literal.variables >= body_vars for literal in self.positive_body
+        )
+
+    def guard(self) -> Literal | None:
+        """A guard literal if the rule is guarded, else ``None``."""
+        body_vars = self.body_variables
+        for literal in self.positive_body:
+            if literal.variables >= body_vars:
+                return literal
+        return None if body_vars else (self.positive_body[0] if self.positive_body else None)
+
+    def substitute(self, substitution) -> "NTGD":
+        """Apply a substitution to the whole rule (used by grounding)."""
+        body = tuple(
+            Literal(apply_substitution(literal.atom, substitution), literal.positive)
+            for literal in self.body
+        )
+        head = tuple(apply_substitution(atom, substitution) for atom in self.head)
+        return NTGD(body, head, label=self.label)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(literal) for literal in self.body)
+        existentials = sorted(v.name for v in self.existential_variables)
+        head = ", ".join(str(atom) for atom in self.head)
+        if existentials:
+            head = f"exists {','.join(existentials)}. {head}"
+        return f"{body} -> {head}" if body else f"-> {head}"
+
+
+def head_disjunct_variables(disjunct: Sequence[Atom]) -> frozenset[Variable]:
+    """The set of variables occurring in one head disjunct."""
+    result: set[Variable] = set()
+    for atom in disjunct:
+        result.update(atom.variables)
+    return frozenset(result)
+
+
+@dataclass(frozen=True)
+class NDTGD:
+    """A normal *disjunctive* TGD (Section 6).
+
+    The head is a disjunction of conjunctions of atoms; each disjunct has its
+    own (implicit) existentially quantified variables.
+    """
+
+    body: tuple[Literal, ...]
+    disjuncts: tuple[tuple[Atom, ...], ...]
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        object.__setattr__(
+            self, "disjuncts", tuple(tuple(disjunct) for disjunct in self.disjuncts)
+        )
+        if not self.disjuncts or any(not disjunct for disjunct in self.disjuncts):
+            raise ValueError("an NDTGD needs at least one non-empty head disjunct")
+        _check_safety(
+            self.body,
+            (atom for disjunct in self.disjuncts for atom in disjunct),
+            self.label or "NDTGD",
+        )
+
+    @property
+    def positive_body(self) -> tuple[Literal, ...]:
+        return tuple(literal for literal in self.body if literal.positive)
+
+    @property
+    def negative_body(self) -> tuple[Literal, ...]:
+        return tuple(literal for literal in self.body if not literal.positive)
+
+    @property
+    def is_disjunctive(self) -> bool:
+        return len(self.disjuncts) > 1
+
+    @property
+    def body_variables(self) -> frozenset[Variable]:
+        result: set[Variable] = set()
+        for literal in self.body:
+            result.update(literal.variables)
+        return frozenset(result)
+
+    @property
+    def predicates(self) -> frozenset[Predicate]:
+        found = {literal.predicate for literal in self.body}
+        for disjunct in self.disjuncts:
+            found.update(atom.predicate for atom in disjunct)
+        return frozenset(found)
+
+    def existential_variables_of(self, index: int) -> frozenset[Variable]:
+        """Existential variables of the *index*-th disjunct."""
+        return head_disjunct_variables(self.disjuncts[index]) - self.body_variables
+
+    def as_ntgd(self) -> NTGD:
+        """View a non-disjunctive NDTGD as an NTGD (raises otherwise)."""
+        if self.is_disjunctive:
+            raise ValueError("rule is genuinely disjunctive")
+        return NTGD(self.body, self.disjuncts[0], label=self.label)
+
+    def conjunctive_collapse(self) -> NTGD:
+        """The rule Σ^{+,∧} of Section 6: drop negation, turn ∨ into ∧.
+
+        Used only for the weak-acyclicity test of disjunctive rule sets.
+        """
+        head = tuple(atom for disjunct in self.disjuncts for atom in disjunct)
+        return NTGD(self.positive_body, head, label=self.label)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(literal) for literal in self.body)
+        rendered_disjuncts = []
+        for index, disjunct in enumerate(self.disjuncts):
+            existentials = sorted(v.name for v in self.existential_variables_of(index))
+            text = ", ".join(str(atom) for atom in disjunct)
+            if existentials:
+                text = f"exists {','.join(existentials)}. {text}"
+            rendered_disjuncts.append(text)
+        head = " | ".join(rendered_disjuncts)
+        return f"{body} -> {head}" if body else f"-> {head}"
+
+
+@dataclass(frozen=True)
+class RuleSet:
+    """A finite set Σ of NTGDs, kept in a deterministic order."""
+
+    rules: tuple[NTGD, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __getitem__(self, index: int) -> NTGD:
+        return self.rules[index]
+
+    @property
+    def schema(self) -> frozenset[Predicate]:
+        """``sch(Σ)``: all predicates occurring in the rules."""
+        found: set[Predicate] = set()
+        for rule in self.rules:
+            found.update(rule.predicates)
+        return frozenset(found)
+
+    @property
+    def is_positive(self) -> bool:
+        return all(rule.is_positive for rule in self.rules)
+
+    @property
+    def has_existentials(self) -> bool:
+        return any(rule.existential_variables for rule in self.rules)
+
+    def strip_negation(self) -> "RuleSet":
+        """Σ⁺: the rule set with all negative literals removed."""
+        return RuleSet(tuple(rule.strip_negation() for rule in self.rules))
+
+    def extend(self, rules: Iterable[NTGD]) -> "RuleSet":
+        return RuleSet(self.rules + tuple(rules))
+
+    def intensional_predicates(self) -> frozenset[Predicate]:
+        """Predicates occurring in some rule head (``idb(Σ)``)."""
+        found: set[Predicate] = set()
+        for rule in self.rules:
+            found.update(rule.head_predicates)
+        return frozenset(found)
+
+    def extensional_predicates(self) -> frozenset[Predicate]:
+        """Predicates of the schema never occurring in a rule head (``edb(Σ)``)."""
+        return self.schema - self.intensional_predicates()
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+@dataclass(frozen=True)
+class DisjunctiveRuleSet:
+    """A finite set of NDTGDs (Section 6)."""
+
+    rules: tuple[NDTGD, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __getitem__(self, index: int) -> NDTGD:
+        return self.rules[index]
+
+    @property
+    def schema(self) -> frozenset[Predicate]:
+        found: set[Predicate] = set()
+        for rule in self.rules:
+            found.update(rule.predicates)
+        return frozenset(found)
+
+    @property
+    def max_disjuncts(self) -> int:
+        """Maximum number of head disjuncts over all rules (``k`` of Lemma 13)."""
+        return max((len(rule.disjuncts) for rule in self.rules), default=0)
+
+    def conjunctive_collapse(self) -> RuleSet:
+        """Σ^{+,∧} of Section 6, used for the weak-acyclicity check."""
+        return RuleSet(tuple(rule.conjunctive_collapse() for rule in self.rules))
+
+    def non_disjunctive_part(self) -> RuleSet:
+        """The NTGDs among the rules (those with a single disjunct)."""
+        return RuleSet(
+            tuple(rule.as_ntgd() for rule in self.rules if not rule.is_disjunctive)
+        )
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

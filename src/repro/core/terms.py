@@ -1,0 +1,192 @@
+"""Terms of the language: constants, labelled nulls, variables and Skolem terms.
+
+The paper (Section 2) fixes three pairwise disjoint countably infinite sets of
+symbols: a set ``C`` of constants, a set ``N`` of labelled nulls (placeholders
+for unknown values) and a set ``V`` of variables.  Different constants denote
+different values (unique name assumption) while different nulls may denote the
+same value.
+
+The LP approach additionally needs *functional terms* built from Skolem
+functions (Section 3.1); these are represented by :class:`FunctionTerm`.
+
+All term classes are immutable, hashable and ordered, so they can be freely
+used inside sets, dictionaries and sorted output.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+__all__ = [
+    "Term",
+    "Constant",
+    "Null",
+    "Variable",
+    "FunctionTerm",
+    "GroundTerm",
+    "NullFactory",
+    "is_ground_term",
+    "term_sort_key",
+]
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant of ``C``.
+
+    Constants obey the unique name assumption: two constants with different
+    names denote different domain elements.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("constant name must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if _IDENTIFIER_RE.match(self.name):
+            return self.name
+        return f'"{self.name}"'
+
+    def __repr__(self) -> str:
+        return f"Constant({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Null:
+    """A labelled null of ``N``.
+
+    Nulls are invented by the chase and by the stable-model generators to
+    witness existentially quantified variables.  Unlike constants, two
+    distinct nulls may denote the same value; homomorphisms may map nulls to
+    any term.
+    """
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("null label must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"_:{self.label}"
+
+    def __repr__(self) -> str:
+        return f"Null({self.label!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A variable of ``V``, used in rules and queries."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionTerm:
+    """A functional (Skolem) term ``f(t1, ..., tn)``.
+
+    Functional terms only arise from Skolemization in the LP approach; the
+    second-order semantics of the paper never introduces them.
+    """
+
+    function: str
+    arguments: tuple["GroundTerm", ...]
+
+    def __post_init__(self) -> None:
+        if not self.function:
+            raise ValueError("function symbol must be non-empty")
+        object.__setattr__(self, "arguments", tuple(self.arguments))
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth of the term (a constant/null has depth 0)."""
+        inner = 0
+        for argument in self.arguments:
+            if isinstance(argument, FunctionTerm):
+                inner = max(inner, argument.depth)
+        return inner + 1
+
+    def __str__(self) -> str:
+        args = ",".join(str(argument) for argument in self.arguments)
+        return f"{self.function}({args})"
+
+    def __repr__(self) -> str:
+        return f"FunctionTerm({self.function!r}, {self.arguments!r})"
+
+
+#: Terms that may occur in interpretations (no variables).
+GroundTerm = Union[Constant, Null, FunctionTerm]
+
+#: Any term of the language.
+Term = Union[Constant, Null, Variable, FunctionTerm]
+
+
+def is_ground_term(term: Term) -> bool:
+    """Return ``True`` iff *term* contains no variable."""
+    if isinstance(term, Variable):
+        return False
+    if isinstance(term, FunctionTerm):
+        return all(is_ground_term(argument) for argument in term.arguments)
+    return True
+
+
+def term_sort_key(term: Term) -> tuple[int, str]:
+    """A deterministic sort key placing constants < nulls < functions < variables."""
+    if isinstance(term, Constant):
+        return (0, term.name)
+    if isinstance(term, Null):
+        return (1, term.label)
+    if isinstance(term, FunctionTerm):
+        return (2, str(term))
+    return (3, term.name)
+
+
+class NullFactory:
+    """A factory of fresh labelled nulls.
+
+    The factory guarantees that the nulls it produces are pairwise distinct
+    and distinct from a caller-supplied set of reserved labels (typically the
+    labels already occurring in an interpretation under construction).
+    """
+
+    def __init__(self, prefix: str = "n", reserved: Iterable[str] = ()):  # noqa: D401
+        self._prefix = prefix
+        self._counter = itertools.count()
+        self._reserved = set(reserved)
+
+    def fresh(self) -> Null:
+        """Return a fresh null, never returned before by this factory."""
+        while True:
+            label = f"{self._prefix}{next(self._counter)}"
+            if label not in self._reserved:
+                self._reserved.add(label)
+                return Null(label)
+
+    def fresh_many(self, count: int) -> tuple[Null, ...]:
+        """Return *count* pairwise distinct fresh nulls."""
+        return tuple(self.fresh() for _ in range(count))
+
+    def reserve(self, labels: Iterable[str]) -> None:
+        """Mark *labels* as used so they are never produced by :meth:`fresh`."""
+        self._reserved.update(labels)
+
+    def __iter__(self) -> Iterator[Null]:
+        while True:  # pragma: no cover - convenience iterator
+            yield self.fresh()

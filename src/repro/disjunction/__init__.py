@@ -1,0 +1,24 @@
+"""Normal disjunctive TGDs: direct semantics and the Lemma 13 simulation (Section 6)."""
+
+from .semantics import (
+    enumerate_disjunctive_stable_models,
+    find_smaller_disjunctive_reduct_model,
+    is_disjunctive_stable_model,
+)
+from .semantics_helpers import disjunctive_certain_answer, disjunctive_possible_answer
+from .translation import (
+    NIL_CONSTANT,
+    DisjunctionTranslation,
+    translate_disjunctive,
+)
+
+__all__ = [
+    "DisjunctionTranslation",
+    "NIL_CONSTANT",
+    "disjunctive_certain_answer",
+    "disjunctive_possible_answer",
+    "enumerate_disjunctive_stable_models",
+    "find_smaller_disjunctive_reduct_model",
+    "is_disjunctive_stable_model",
+    "translate_disjunctive",
+]

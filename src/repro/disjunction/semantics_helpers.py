@@ -1,0 +1,47 @@
+"""Query answering helpers for the disjunctive semantics (Section 6)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.database import Database
+from ..core.queries import ConjunctiveQuery
+from ..core.rules import NDTGD, DisjunctiveRuleSet
+from ..stable.universe import Universe
+from .semantics import enumerate_disjunctive_stable_models
+
+__all__ = ["disjunctive_certain_answer", "disjunctive_possible_answer"]
+
+
+def disjunctive_certain_answer(
+    database: Database,
+    rules: DisjunctiveRuleSet | Sequence[NDTGD],
+    query: ConjunctiveQuery,
+    universe: Optional[Universe] = None,
+    max_nulls: int = 1,
+    max_states: int = 500_000,
+) -> bool:
+    """``SMS-QAns(WATGD¬,∨)``: cautious entailment of a Boolean query."""
+    for model in enumerate_disjunctive_stable_models(
+        database, rules, universe=universe, max_nulls=max_nulls, max_states=max_states
+    ):
+        if not query.holds_in(model):
+            return False
+    return True
+
+
+def disjunctive_possible_answer(
+    database: Database,
+    rules: DisjunctiveRuleSet | Sequence[NDTGD],
+    query: ConjunctiveQuery,
+    universe: Optional[Universe] = None,
+    max_nulls: int = 1,
+    max_states: int = 500_000,
+) -> bool:
+    """Brave entailment of a Boolean query under the disjunctive semantics."""
+    for model in enumerate_disjunctive_stable_models(
+        database, rules, universe=universe, max_nulls=max_nulls, max_states=max_states
+    ):
+        if query.holds_in(model):
+            return True
+    return False

@@ -1,0 +1,206 @@
+"""The Lemma 13 translation: simulating disjunction with existentials and negation.
+
+Section 6 shows that ``SMS-QAns(WATGD¬,∨)`` reduces in polynomial time to
+``SMS-QAns`` over non-disjunctive NTGDs: disjunction can be *simulated* using
+existential quantification and stable negation.  For every disjunctive rule
+
+    σ:  ϕ(X, Y)  ->  ψ_1(X, Z_1)  ∨ ... ∨  ψ_n(X, Z_n)
+
+the translation introduces a fresh predicate ``t_σ`` together with
+
+* **guess** rules — fire ``t_σ(I, X, Z)`` with an existentially chosen index
+  ``I`` (and witnesses for all the ``Z_i``), and forbid indices that are not
+  one of the designated constants ``c_1, ..., c_n`` via the ``false``/``aux``
+  constraint pattern;
+* **infer** rules — from ``t_σ(c_i, X, Z)`` derive the ``i``-th disjunct;
+* **stability** rules — if some disjunct already holds, re-derive the
+  corresponding ``t_σ`` fact (padding the unused witness positions with the
+  ``nil`` constant ⋆) so that the guess is supported and minimality does not
+  erase it.
+
+The database is extended with ``nil(⋆)`` and the index facts
+``idx_1(c_1), ..., idx_k(c_k)`` where ``k`` is the maximum number of disjuncts.
+The translated set is in general **not** weakly acyclic (Example 5), but the
+new cycles are harmless (Section 6), and query answers are preserved:
+``(D, Σ) |=_SMS q  iff  (D', Σ') |=_SMS q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.atoms import Atom, Literal, Predicate
+from ..core.database import Database
+from ..core.rules import NDTGD, NTGD, DisjunctiveRuleSet, RuleSet
+from ..core.terms import Constant, Variable
+
+__all__ = ["DisjunctionTranslation", "translate_disjunctive"]
+
+#: The special constant ⋆ used to pad unused witness positions.
+NIL_CONSTANT = Constant("star")
+NIL = Predicate("nil", 1)
+FALSE = Predicate("false", 0)
+AUX = Predicate("aux", 0)
+
+
+def _index_predicate(position: int) -> Predicate:
+    return Predicate(f"idx{position}", 1)
+
+
+def _index_constant(position: int) -> Constant:
+    return Constant(f"c_idx{position}")
+
+
+@dataclass(frozen=True)
+class DisjunctionTranslation:
+    """The output of :func:`translate_disjunctive`.
+
+    Attributes
+    ----------
+    database:
+        ``D'``: the original database plus ``nil(⋆)`` and the index facts.
+    rules:
+        ``Σ'``: the simulating set of (non-disjunctive) NTGDs.
+    auxiliary_predicates:
+        The predicates introduced by the translation (``t_σ``, ``idx_i``,
+        ``nil``, ``false``, ``aux``); useful for projecting models back onto
+        the original schema.
+    """
+
+    database: Database
+    rules: RuleSet
+    auxiliary_predicates: frozenset[Predicate]
+
+    def project(self, atoms) -> frozenset[Atom]:
+        """Restrict a set of atoms to the original (non-auxiliary) schema."""
+        return frozenset(
+            atom for atom in atoms if atom.predicate not in self.auxiliary_predicates
+        )
+
+
+def _fresh_index_variable(rule: NDTGD) -> Variable:
+    taken = {variable.name for variable in rule.body_variables}
+    for atom_group in rule.disjuncts:
+        for atom in atom_group:
+            taken.update(variable.name for variable in atom.variables)
+    name = "I"
+    while name in taken:
+        name += "_"
+    return Variable(name)
+
+
+def _fresh_nil_variable(rule: NDTGD) -> Variable:
+    taken = {variable.name for variable in rule.body_variables}
+    name = "N"
+    while name in taken:
+        name += "_"
+    return Variable(name)
+
+
+def _translate_rule(rule: NDTGD, rule_index: int) -> list[NTGD]:
+    """Σ_σ = Σ_guess ∪ Σ_infer ∪ Σ_stab for one disjunctive rule."""
+    if not rule.is_disjunctive:
+        return [rule.as_ntgd()]
+    disjunct_count = len(rule.disjuncts)
+    frontier = sorted(
+        {
+            variable
+            for position in range(disjunct_count)
+            for atom in rule.disjuncts[position]
+            for variable in atom.variables
+            if variable in rule.body_variables
+        },
+        key=lambda v: v.name,
+    )
+    existentials_per_disjunct = [
+        sorted(rule.existential_variables_of(position), key=lambda v: v.name)
+        for position in range(disjunct_count)
+    ]
+    all_existentials = [v for group in existentials_per_disjunct for v in group]
+    index_variable = _fresh_index_variable(rule)
+    nil_variable = _fresh_nil_variable(rule)
+    t_predicate = Predicate(
+        f"t_rule{rule_index}", 1 + len(frontier) + len(all_existentials)
+    )
+
+    produced: list[NTGD] = []
+
+    # -- guess ---------------------------------------------------------------
+    guess_head = Atom(t_predicate, (index_variable, *frontier, *all_existentials))
+    produced.append(NTGD(rule.body, (guess_head,), label=f"guess_{rule_index}"))
+    index_guard_body: list[Literal] = [
+        Literal(Atom(t_predicate, (index_variable, *frontier, *all_existentials)), True)
+    ]
+    for position in range(1, disjunct_count + 1):
+        index_guard_body.append(
+            Literal(Atom(_index_predicate(position), (index_variable,)), False)
+        )
+    produced.append(
+        NTGD(tuple(index_guard_body), (Atom(FALSE, ()),), label=f"idxguard_{rule_index}")
+    )
+
+    # -- infer ---------------------------------------------------------------
+    for position in range(disjunct_count):
+        body = (
+            Literal(
+                Atom(t_predicate, (index_variable, *frontier, *all_existentials)), True
+            ),
+            Literal(Atom(_index_predicate(position + 1), (index_variable,)), True),
+        )
+        produced.append(
+            NTGD(body, rule.disjuncts[position], label=f"infer_{rule_index}_{position}")
+        )
+
+    # -- stability -----------------------------------------------------------
+    for position in range(disjunct_count):
+        body = list(rule.body)
+        body.extend(Literal(atom, True) for atom in rule.disjuncts[position])
+        body.append(Literal(Atom(_index_predicate(position + 1), (index_variable,)), True))
+        body.append(Literal(Atom(NIL, (nil_variable,)), True))
+        padded_terms = []
+        for other in range(disjunct_count):
+            if other == position:
+                padded_terms.extend(existentials_per_disjunct[other])
+            else:
+                padded_terms.extend([nil_variable] * len(existentials_per_disjunct[other]))
+        head = Atom(t_predicate, (index_variable, *frontier, *padded_terms))
+        produced.append(NTGD(tuple(body), (head,), label=f"stab_{rule_index}_{position}"))
+
+    return produced
+
+
+def translate_disjunctive(
+    database: Database, rules: DisjunctiveRuleSet | Sequence[NDTGD]
+) -> DisjunctionTranslation:
+    """Lemma 13: build ``(D', Σ')`` from ``(D, Σ ∈ TGD¬,∨)``."""
+    rule_set = (
+        rules if isinstance(rules, DisjunctiveRuleSet) else DisjunctiveRuleSet(tuple(rules))
+    )
+    max_disjuncts = rule_set.max_disjuncts
+    extra_atoms = [Atom(NIL, (NIL_CONSTANT,))]
+    auxiliary: set[Predicate] = {NIL, FALSE, AUX}
+    for position in range(1, max_disjuncts + 1):
+        extra_atoms.append(Atom(_index_predicate(position), (_index_constant(position),)))
+        auxiliary.add(_index_predicate(position))
+    translated: list[NTGD] = []
+    needs_constraint = False
+    for rule_index, rule in enumerate(rule_set):
+        fragment = _translate_rule(rule, rule_index)
+        translated.extend(fragment)
+        if rule.is_disjunctive:
+            needs_constraint = True
+            auxiliary.add(Predicate(f"t_rule{rule_index}", fragment[0].head[0].predicate.arity))
+    if needs_constraint:
+        # false ∧ ¬aux → aux: forces false to be absent from every stable model.
+        translated.append(
+            NTGD(
+                (Literal(Atom(FALSE, ()), True), Literal(Atom(AUX, ()), False)),
+                (Atom(AUX, ()),),
+                label="false_constraint",
+            )
+        )
+    new_database = database.with_atoms(extra_atoms) if needs_constraint else database
+    return DisjunctionTranslation(
+        new_database, RuleSet(tuple(translated)), frozenset(auxiliary)
+    )

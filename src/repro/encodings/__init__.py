@@ -1,0 +1,58 @@
+"""Declarative applications and hardness gadgets (Sections 4, 5.3 and 7.1)."""
+
+from .coloring import CertColInstance, LabelledEdge, certkcol_to_qbf, decide_certcol_sms
+from .cqa import (
+    CqaEncoding,
+    DenialConstraint,
+    consistent_answers,
+    denial_cqa_query,
+    is_consistent,
+    subset_repairs,
+)
+from .grids import (
+    chain_database,
+    grid_expected_size,
+    guarded_guess_rules,
+    sticky_grid_rules,
+)
+from .qbf import (
+    ForallExistsCnf,
+    QbfLiteral,
+    TwoQbfExists,
+    decide_exists_forall_sms,
+    decide_forall_exists_sms,
+    qbf_brave_query,
+    qbf_cautious_query,
+    qbf_database,
+    qbf_rules,
+)
+from .tiling import TilingSystem, can_tile_grid, has_unextendable_top_row
+
+__all__ = [
+    "CertColInstance",
+    "CqaEncoding",
+    "DenialConstraint",
+    "ForallExistsCnf",
+    "LabelledEdge",
+    "QbfLiteral",
+    "TilingSystem",
+    "TwoQbfExists",
+    "can_tile_grid",
+    "certkcol_to_qbf",
+    "chain_database",
+    "consistent_answers",
+    "decide_certcol_sms",
+    "decide_exists_forall_sms",
+    "decide_forall_exists_sms",
+    "denial_cqa_query",
+    "grid_expected_size",
+    "guarded_guess_rules",
+    "has_unextendable_top_row",
+    "is_consistent",
+    "qbf_brave_query",
+    "qbf_cautious_query",
+    "qbf_database",
+    "qbf_rules",
+    "sticky_grid_rules",
+    "subset_repairs",
+]

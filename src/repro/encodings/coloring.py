@@ -1,0 +1,132 @@
+"""Certain graph colourability — the CERT3COL-style application of Section 7.1.
+
+CERT3COL (Stewart) is a canonical ΠP2-complete problem: the edges of a graph
+are labelled with propositional literals, and the question is whether *every*
+truth assignment makes the induced subgraph (edges whose label is true)
+3-colourable.  The paper lists a generalisation of it ("certain
+k-colourability") as a natural application of the WATGD¬_c language.
+
+Pipeline implemented here:
+
+1. a direct brute-force decision procedure (ground truth for the benchmarks);
+2. a reduction to a 2-QBF∀ formula ``∀ labels ∃ colour-variables  CNF`` whose
+   clauses have at most three literals;
+3. the decision through the stable-model machinery of
+   :mod:`repro.encodings.qbf` (negate the matrix, ask the cautious ``error``
+   query), exactly the route the paper's Section 7.1 sketches.
+
+The CNF uses one propositional variable per (vertex, colour) pair, so the
+three-literal bound holds for ``k ≤ 3``; larger ``k`` is supported by the
+brute-force checker only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .qbf import ForallExistsCnf, QbfLiteral, decide_forall_exists_sms
+
+__all__ = ["LabelledEdge", "CertColInstance", "certkcol_to_qbf", "decide_certcol_sms"]
+
+
+@dataclass(frozen=True)
+class LabelledEdge:
+    """An undirected edge labelled with a propositional literal (or always active)."""
+
+    source: str
+    target: str
+    label: Optional[QbfLiteral] = None
+
+    def active(self, assignment: Mapping[str, bool]) -> bool:
+        if self.label is None:
+            return True
+        return self.label.evaluate(assignment)
+
+
+@dataclass(frozen=True)
+class CertColInstance:
+    """A certain-k-colourability instance."""
+
+    vertices: tuple[str, ...]
+    edges: tuple[LabelledEdge, ...]
+    variables: tuple[str, ...]
+    colours: int = 3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vertices", tuple(self.vertices))
+        object.__setattr__(self, "edges", tuple(self.edges))
+        object.__setattr__(self, "variables", tuple(self.variables))
+        if self.colours < 1:
+            raise ValueError("at least one colour is required")
+
+    # ------------------------------------------------------------- brute force
+    def _colourable(self, active_edges: Sequence[LabelledEdge]) -> bool:
+        for colouring in itertools.product(range(self.colours), repeat=len(self.vertices)):
+            assignment = dict(zip(self.vertices, colouring))
+            if all(assignment[e.source] != assignment[e.target] for e in active_edges):
+                return True
+        return False
+
+    def is_certainly_colourable(self) -> bool:
+        """Brute force: every assignment induces a k-colourable subgraph."""
+        for values in itertools.product((False, True), repeat=len(self.variables)):
+            assignment = dict(zip(self.variables, values))
+            active = [edge for edge in self.edges if edge.active(assignment)]
+            if not self._colourable(active):
+                return False
+        return True
+
+
+def _colour_variable(vertex: str, colour: int) -> str:
+    return f"col_{vertex}_{colour}"
+
+
+def certkcol_to_qbf(instance: CertColInstance) -> ForallExistsCnf:
+    """Encode certain k-colourability as a 2-QBF∀ formula (k ≤ 3).
+
+    The CNF says: every vertex has a colour, no vertex has two colours, and no
+    *active* edge joins two vertices of the same colour.
+    """
+    if instance.colours > 3:
+        raise ValueError(
+            "the three-literal clause bound of the QBF encoding needs k <= 3"
+        )
+    colour_variables = [
+        _colour_variable(vertex, colour)
+        for vertex in instance.vertices
+        for colour in range(instance.colours)
+    ]
+    clauses: list[tuple[QbfLiteral, ...]] = []
+    for vertex in instance.vertices:
+        clauses.append(
+            tuple(
+                QbfLiteral(_colour_variable(vertex, colour))
+                for colour in range(instance.colours)
+            )
+        )
+        for first, second in itertools.combinations(range(instance.colours), 2):
+            clauses.append(
+                (
+                    QbfLiteral(_colour_variable(vertex, first), positive=False),
+                    QbfLiteral(_colour_variable(vertex, second), positive=False),
+                )
+            )
+    for edge in instance.edges:
+        for colour in range(instance.colours):
+            clause = [
+                QbfLiteral(_colour_variable(edge.source, colour), positive=False),
+                QbfLiteral(_colour_variable(edge.target, colour), positive=False),
+            ]
+            if edge.label is not None:
+                clause.append(edge.label.negate())
+            clauses.append(tuple(clause))
+    return ForallExistsCnf(
+        tuple(instance.variables), tuple(colour_variables), tuple(clauses)
+    )
+
+
+def decide_certcol_sms(instance: CertColInstance, max_states: int = 2_000_000) -> bool:
+    """Decide certain colourability through the WATGD¬ machinery (Section 7.1)."""
+    return decide_forall_exists_sms(certkcol_to_qbf(instance), max_states=max_states)

@@ -1,0 +1,79 @@
+"""The undecidability gadgets of Theorems 4 and 5.
+
+Undecidability cannot be executed, but the *mechanism* behind the two
+theorems can: both proofs rely on building grids of unbounded size and using
+stable negation to "guess" — via cartesian products in the sticky case, via
+existentially guessed guards in the guarded case — which is exactly what
+breaks the tree-model property.  This module provides small rule-set builders
+that exhibit the mechanism, so the benchmarks can measure how the derived
+structures grow with the input and the test suite can verify the class
+memberships claimed by the paper (sticky but not weakly acyclic, guarded but
+not weakly acyclic).
+"""
+
+from __future__ import annotations
+
+from ..core.database import Database
+from ..core.parser import parse_database, parse_program
+from ..core.rules import RuleSet
+
+__all__ = [
+    "sticky_grid_rules",
+    "guarded_guess_rules",
+    "chain_database",
+    "grid_expected_size",
+]
+
+
+def sticky_grid_rules() -> RuleSet:
+    """A sticky (non-weakly-acyclic) set building an unbounded grid.
+
+    The cartesian-product rule ``h(X), v(Y) -> cell(X, Y)`` is the Section 4.2
+    mechanism: sticky sets can express products, from which grids (and hence
+    Turing-machine computations, once negation provides guessing) follow.  The
+    successor rules keep extending both axes, so the chase — and the stable
+    models — grow without bound unless the axes are cut off by the database.
+    """
+    return parse_program(
+        """
+        h(X) -> exists Y. hnext(X, Y)
+        hnext(X, Y) -> h(Y)
+        v(X) -> exists Y. vnext(X, Y)
+        vnext(X, Y) -> v(Y)
+        h(X), v(Y) -> cell(X, Y)
+        """
+    )
+
+
+def guarded_guess_rules() -> RuleSet:
+    """A guarded (non-weakly-acyclic) set whose guard is existentially guessed.
+
+    Every rule has a guard atom, yet the first rule invents the guard
+    ``link(X, Y)`` itself; under the new stable model semantics its second
+    position can be forced onto an arbitrary existing element (the guard is
+    "guessed"), which lets branches of the model interact and destroys the
+    tree-model property (Theorem 5 discussion).
+    """
+    return parse_program(
+        """
+        node(X) -> exists Y. link(X, Y)
+        link(X, Y) -> node(Y)
+        link(X, Y), not marked(Y) -> marked(X)
+        """
+    )
+
+
+def chain_database(length: int, prefix: str = "a") -> Database:
+    """A database with ``length`` elements on each axis of the grid gadget."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    facts = []
+    for index in range(length):
+        facts.append(f"h({prefix}h{index}).")
+        facts.append(f"v({prefix}v{index}).")
+    return parse_database("\n".join(facts))
+
+
+def grid_expected_size(length: int) -> int:
+    """Number of ``cell`` atoms the cartesian product produces for a cut-off grid."""
+    return length * length

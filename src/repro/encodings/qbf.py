@@ -1,0 +1,243 @@
+"""2-QBF and its encoding into weakly-acyclic NTGDs (Sections 5.3 and 7.1).
+
+The ΠP2-hardness proof of Theorem 6 reduces satisfiability of 2-QBF∃ formulas
+
+    ϕ  =  ∃X ∀Y  ψ(X, Y),        ψ a 3-DNF
+
+to the complement of ``SMS-QAns(WATGD¬)``: a database ``D_ϕ`` encodes the
+formula and a *fixed* rule set Σ (independent of ϕ) is such that
+
+    ϕ is satisfiable   iff   (D_ϕ, Σ)  ⊭_SMS  error.
+
+Section 7.1 then turns the same construction into WATGD¬ queries: 2-QBF∃ is
+decided by the *brave* query ``(Σ ∪ {¬error → ans}, ans)`` and 2-QBF∀ by the
+corresponding *cautious* query.  This module implements the formula data
+model, the database encoding, the fixed rule set, brute-force evaluation (the
+ground truth for the benchmarks), and the SMS-based decision procedures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..core.atoms import Atom, Predicate
+from ..core.database import Database
+from ..core.parser import parse_program, parse_query
+from ..core.rules import RuleSet
+from ..core.terms import Constant
+from ..languages.watgd import WatgdQuery
+from ..stable.engine import StableModelEngine
+from ..stable.universe import Universe
+
+__all__ = [
+    "QbfLiteral",
+    "TwoQbfExists",
+    "ForallExistsCnf",
+    "qbf_rules",
+    "qbf_database",
+    "decide_exists_forall_sms",
+    "decide_forall_exists_sms",
+    "qbf_brave_query",
+    "qbf_cautious_query",
+]
+
+#: The special constant ⋆ of the reduction.
+STAR = Constant("star")
+
+_EVAR = Predicate("evar", 1)
+_AVAR = Predicate("avar", 1)
+_CL = Predicate("cl", 6)
+_NIL = Predicate("nil", 1)
+
+
+@dataclass(frozen=True)
+class QbfLiteral:
+    """A propositional literal: a variable name and a sign."""
+
+    variable: str
+    positive: bool = True
+
+    def negate(self) -> "QbfLiteral":
+        return QbfLiteral(self.variable, not self.positive)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        value = assignment[self.variable]
+        return value if self.positive else not value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.variable if self.positive else f"~{self.variable}"
+
+
+@dataclass(frozen=True)
+class TwoQbfExists:
+    """A 2-QBF∃ formula ``∃X ∀Y  ⋁_i (ℓ_i1 ∧ ℓ_i2 ∧ ℓ_i3)`` (3-DNF matrix).
+
+    Terms with fewer than three literals are allowed; the encoding pads the
+    unused slots with the ⋆ constant, which the rule set treats as vacuously
+    satisfied.
+    """
+
+    exists_variables: tuple[str, ...]
+    forall_variables: tuple[str, ...]
+    terms: tuple[tuple[QbfLiteral, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "exists_variables", tuple(self.exists_variables))
+        object.__setattr__(self, "forall_variables", tuple(self.forall_variables))
+        object.__setattr__(
+            self, "terms", tuple(tuple(term) for term in self.terms)
+        )
+        for term in self.terms:
+            if not 1 <= len(term) <= 3:
+                raise ValueError("DNF terms must have between one and three literals")
+        declared = set(self.exists_variables) | set(self.forall_variables)
+        used = {literal.variable for term in self.terms for literal in term}
+        if not used <= declared:
+            raise ValueError(f"undeclared variables: {sorted(used - declared)}")
+
+    # ---------------------------------------------------------------- ground truth
+    def matrix_value(self, assignment: Mapping[str, bool]) -> bool:
+        """Truth of the DNF matrix under a total assignment."""
+        return any(
+            all(literal.evaluate(assignment) for literal in term) for term in self.terms
+        )
+
+    def is_satisfiable(self) -> bool:
+        """Brute-force ∃∀ evaluation (the reference for all benchmarks)."""
+        for exists_values in itertools.product(
+            (False, True), repeat=len(self.exists_variables)
+        ):
+            assignment = dict(zip(self.exists_variables, exists_values))
+            holds_for_all = True
+            for forall_values in itertools.product(
+                (False, True), repeat=len(self.forall_variables)
+            ):
+                assignment.update(zip(self.forall_variables, forall_values))
+                if not self.matrix_value(assignment):
+                    holds_for_all = False
+                    break
+            if holds_for_all:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class ForallExistsCnf:
+    """A 2-QBF∀ formula ``∀X ∃Y  ⋀_i C_i`` with clauses of at most three literals.
+
+    Its validity is decided through the negated formula: ``∀X∃Y ψ`` is valid
+    iff ``∃X∀Y ¬ψ`` is unsatisfiable, and ``¬ψ`` is a 3-DNF obtained by
+    negating every clause.
+    """
+
+    forall_variables: tuple[str, ...]
+    exists_variables: tuple[str, ...]
+    clauses: tuple[tuple[QbfLiteral, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "forall_variables", tuple(self.forall_variables))
+        object.__setattr__(self, "exists_variables", tuple(self.exists_variables))
+        object.__setattr__(self, "clauses", tuple(tuple(c) for c in self.clauses))
+        for clause in self.clauses:
+            if not 1 <= len(clause) <= 3:
+                raise ValueError("clauses must have between one and three literals")
+
+    def negation(self) -> TwoQbfExists:
+        """``∃X ∀Y ¬ψ`` with the 3-DNF matrix obtained clause-wise."""
+        terms = tuple(
+            tuple(literal.negate() for literal in clause) for clause in self.clauses
+        )
+        return TwoQbfExists(self.forall_variables, self.exists_variables, terms)
+
+    def is_valid(self) -> bool:
+        """Brute-force ∀∃ evaluation."""
+        return not self.negation().is_satisfiable()
+
+
+# --------------------------------------------------------------------------
+# The fixed rule set Σ of Section 5.3
+# --------------------------------------------------------------------------
+
+_QBF_PROGRAM_TEXT = """
+-> exists X. zero(X)
+-> exists X. one(X)
+zero(X), one(X) -> error
+zero(X) -> truthVal(X)
+one(X) -> truthVal(X)
+evar(X) -> exists Y. assign(X, Y)
+avar(X) -> exists Y. assign(X, Y)
+assign(X, Y), not truthVal(Y) -> error
+not saturate -> saturate
+avar(X), truthVal(Y), saturate -> assign(X, Y)
+nil(X), truthVal(Y) -> assign(X, Y)
+cl(P1, P2, P3, N1, N2, N3), assign(P1, O), assign(P2, O), assign(P3, O), one(O), assign(N1, Z), assign(N2, Z), assign(N3, Z), zero(Z) -> saturate
+"""
+
+
+def qbf_rules() -> RuleSet:
+    """The fixed weakly-acyclic rule set Σ of the Section 5.3 reduction."""
+    return parse_program(_QBF_PROGRAM_TEXT)
+
+
+def _pi_nu(literal: Optional[QbfLiteral]) -> tuple[Constant, Constant]:
+    """``(π(ℓ), ν(ℓ))`` — ⋆ marks the unused polarity (or a missing literal)."""
+    if literal is None:
+        return STAR, STAR
+    constant = Constant(literal.variable)
+    if literal.positive:
+        return constant, STAR
+    return STAR, constant
+
+
+def qbf_database(formula: TwoQbfExists) -> Database:
+    """``D_ϕ``: the database encoding of a 2-QBF∃ formula."""
+    atoms: list[Atom] = [Atom(_NIL, (STAR,))]
+    for variable in formula.exists_variables:
+        atoms.append(Atom(_EVAR, (Constant(variable),)))
+    for variable in formula.forall_variables:
+        atoms.append(Atom(_AVAR, (Constant(variable),)))
+    for term in formula.terms:
+        padded: list[Optional[QbfLiteral]] = list(term) + [None] * (3 - len(term))
+        positives = []
+        negatives = []
+        for literal in padded:
+            pi, nu = _pi_nu(literal)
+            positives.append(pi)
+            negatives.append(nu)
+        atoms.append(Atom(_CL, (*positives, *negatives)))
+    return Database.of(atoms)
+
+
+def decide_exists_forall_sms(
+    formula: TwoQbfExists, max_states: int = 2_000_000
+) -> bool:
+    """Theorem 6 reduction: ϕ is satisfiable iff ``(D_ϕ, Σ) ⊭_SMS error``."""
+    database = qbf_database(formula)
+    rules = qbf_rules()
+    universe = Universe.for_database(database, max_nulls=0)
+    engine = StableModelEngine(
+        database, rules, universe=universe, max_states=max_states
+    )
+    error_query = parse_query("? :- error")
+    return not engine.entails_cautiously(error_query)
+
+
+def decide_forall_exists_sms(
+    formula: ForallExistsCnf, max_states: int = 2_000_000
+) -> bool:
+    """2-QBF∀ validity via the cautious semantics (Section 7.1)."""
+    return not decide_exists_forall_sms(formula.negation(), max_states=max_states)
+
+
+def qbf_brave_query() -> WatgdQuery:
+    """The Section 7.1 brave query ``(Σ ∪ {¬error → ans}, ans)`` deciding 2-QBF∃."""
+    rules = qbf_rules().extend(parse_program("not error -> ans"))
+    return WatgdQuery(rules, Predicate("ans", 0))
+
+
+def qbf_cautious_query() -> WatgdQuery:
+    """The cautious counterpart: ``error`` as a cautious 0-ary query (2-QBF∀)."""
+    rules = qbf_rules().extend(parse_program("error -> unsat"))
+    return WatgdQuery(rules, Predicate("unsat", 0))

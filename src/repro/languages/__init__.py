@@ -1,0 +1,14 @@
+"""Query languages and expressivity translations (Section 7)."""
+
+from .datalog import DatalogDisjunctiveQuery
+from .expressivity import TranslationResult, datalog_to_watgd
+from .skolemized import SkolemizedWatgdQuery
+from .watgd import WatgdQuery
+
+__all__ = [
+    "DatalogDisjunctiveQuery",
+    "SkolemizedWatgdQuery",
+    "TranslationResult",
+    "WatgdQuery",
+    "datalog_to_watgd",
+]

@@ -1,0 +1,93 @@
+"""Disjunctive datalog with negation: the DATALOG¬,∨ languages of Section 7.2.
+
+A DATALOG¬,∨ query is a pair ``(Σ, q)`` where Σ is a set of NDTGDs whose heads
+are *existential-free* disjunctions of atoms.  Under the cautious (resp.
+brave) stable model semantics these languages express exactly the queries with
+ΠP2 (resp. ΣP2) data complexity (Eiter, Gottlob & Mannila), which is the
+yardstick the paper measures WATGD¬ against in Theorems 15-18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.atoms import Predicate
+from ..core.database import Database
+from ..core.rules import DisjunctiveRuleSet
+from ..core.terms import Constant, Term
+from ..disjunction.semantics import enumerate_disjunctive_stable_models
+from ..stable.universe import Universe
+
+__all__ = ["DatalogDisjunctiveQuery"]
+
+
+@dataclass(frozen=True)
+class DatalogDisjunctiveQuery:
+    """A DATALOG¬,∨ query ``(Σ, q)``: existential-free disjunctive rules."""
+
+    program: DisjunctiveRuleSet
+    answer_predicate: Predicate
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.program, DisjunctiveRuleSet):
+            object.__setattr__(
+                self, "program", DisjunctiveRuleSet(tuple(self.program))
+            )
+        for rule in self.program:
+            for position in range(len(rule.disjuncts)):
+                if rule.existential_variables_of(position):
+                    raise ValueError(
+                        "DATALOG¬,∨ rules must not contain existential variables"
+                    )
+                if len(rule.disjuncts[position]) != 1:
+                    raise ValueError(
+                        "DATALOG¬,∨ head disjuncts must be single atoms"
+                    )
+
+    @property
+    def arity(self) -> int:
+        return self.answer_predicate.arity
+
+    def _models(self, database: Database, max_states: int):
+        universe = Universe.for_database(database, max_nulls=0)
+        yield from enumerate_disjunctive_stable_models(
+            database, self.program, universe=universe, max_states=max_states
+        )
+
+    def _answers_in(self, model) -> frozenset[tuple[Term, ...]]:
+        return frozenset(
+            tuple(atom.terms)
+            for atom in model.atoms_of(self.answer_predicate)
+            if all(isinstance(term, Constant) for term in atom.terms)
+        )
+
+    def cautious(
+        self, database: Database, max_states: int = 500_000
+    ) -> frozenset[tuple[Term, ...]]:
+        """``Q(D)`` under DATALOG¬,∨_c (intersection over stable models)."""
+        answers: Optional[set[tuple[Term, ...]]] = None
+        for model in self._models(database, max_states):
+            current = set(self._answers_in(model))
+            answers = current if answers is None else answers & current
+            if not answers:
+                return frozenset()
+        return frozenset(answers) if answers is not None else frozenset()
+
+    def brave(
+        self, database: Database, max_states: int = 500_000
+    ) -> frozenset[tuple[Term, ...]]:
+        """``Q(D)`` under DATALOG¬,∨_b (union over stable models)."""
+        answers: set[tuple[Term, ...]] = set()
+        for model in self._models(database, max_states):
+            answers.update(self._answers_in(model))
+        return frozenset(answers)
+
+    def evaluate(
+        self, database: Database, semantics: str = "cautious", **kwargs
+    ) -> frozenset[tuple[Term, ...]]:
+        if semantics == "cautious":
+            return self.cautious(database, **kwargs)
+        if semantics == "brave":
+            return self.brave(database, **kwargs)
+        raise ValueError(f"unknown semantics {semantics!r}")

@@ -1,0 +1,140 @@
+"""The expressivity translations of Section 7.2 (Theorems 15 and 16).
+
+``WATGD¬_c = DATALOG¬,∨_c`` and ``WATGD¬_b = DATALOG¬,∨_b``: every disjunctive
+datalog query can be rewritten into a weakly-acyclic NTGD query with the same
+answers.  The construction simulates
+
+* **predicates as domain elements** — one existentially guessed identifier per
+  schema predicate (``pred_p``), pairwise distinct thanks to a ``false``/
+  ``aux`` constraint;
+* **disjunction** — for every disjunctive rule a fresh predicate ``t_ρ``
+  existentially guesses which disjunct fires; inference and stability rules
+  mirror the Lemma 13 pattern but, because the query program is
+  existential-free, the resulting set stays weakly acyclic (the only special
+  edges point into ``t_ρ[1]`` and nothing flows out of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.atoms import Atom, Literal, Predicate
+from ..core.rules import NDTGD, NTGD, DisjunctiveRuleSet, RuleSet
+from ..core.terms import Variable
+from .datalog import DatalogDisjunctiveQuery
+from .watgd import WatgdQuery
+
+__all__ = ["TranslationResult", "datalog_to_watgd"]
+
+FALSE = Predicate("false", 0)
+AUX = Predicate("aux", 0)
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """The WATGD¬ query produced from a DATALOG¬,∨ query, plus bookkeeping."""
+
+    query: WatgdQuery
+    predicate_markers: dict
+    recommended_nulls: int
+
+    @property
+    def program(self) -> RuleSet:
+        return self.query.program
+
+
+def _marker(predicate: Predicate) -> Predicate:
+    return Predicate(f"pred_{predicate.name}_{predicate.arity}", 1)
+
+
+def datalog_to_watgd(query: DatalogDisjunctiveQuery) -> TranslationResult:
+    """Theorem 15/16: rewrite a DATALOG¬,∨ query into an equivalent WATGD¬ query.
+
+    The answers coincide under both the cautious and the brave semantics,
+    provided the evaluation universe offers at least ``recommended_nulls``
+    fresh nulls (one identifier per schema predicate plus one witness per
+    disjunctive rule guess).
+    """
+    program = query.program
+    schema = sorted(program.schema, key=lambda p: (p.name, p.arity))
+    markers = {predicate: _marker(predicate) for predicate in schema}
+    rules: list[NTGD] = []
+    identifier = Variable("Pid")
+
+    # --- simulate predicates -------------------------------------------------
+    for predicate in schema:
+        rules.append(
+            NTGD((), (Atom(markers[predicate], (identifier,)),), label=f"guess_{predicate.name}")
+        )
+    for first in schema:
+        for second in schema:
+            if (first.name, first.arity) < (second.name, second.arity):
+                body = (
+                    Literal(Atom(markers[first], (identifier,)), True),
+                    Literal(Atom(markers[second], (identifier,)), True),
+                )
+                rules.append(
+                    NTGD(body, (Atom(FALSE, ()),), label=f"distinct_{first.name}_{second.name}")
+                )
+    rules.append(
+        NTGD(
+            (Literal(Atom(FALSE, ()), True), Literal(Atom(AUX, ()), False)),
+            (Atom(AUX, ()),),
+            label="false_constraint",
+        )
+    )
+
+    # --- simulate disjunction -------------------------------------------------
+    for rule_index, rule in enumerate(program):
+        heads = [disjunct[0] for disjunct in rule.disjuncts]
+        if len(heads) == 1:
+            rules.append(NTGD(rule.body, (heads[0],), label=f"copy_{rule_index}"))
+            continue
+        frontier = sorted(
+            {v for atom in heads for v in atom.variables}, key=lambda v: v.name
+        )
+        guess_variable = Variable("Z_guess")
+        t_predicate = Predicate(f"t_rho{rule_index}", 1 + len(frontier))
+        t_atom = Atom(t_predicate, (guess_variable, *frontier))
+        # guess
+        rules.append(NTGD(rule.body, (t_atom,), label=f"rho_guess_{rule_index}"))
+        guard_body: list[Literal] = [Literal(t_atom, True)]
+        for head in heads:
+            guard_body.append(
+                Literal(Atom(markers[head.predicate], (guess_variable,)), False)
+            )
+        rules.append(
+            NTGD(tuple(guard_body), (Atom(FALSE, ()),), label=f"rho_guard_{rule_index}")
+        )
+        # infer + stability
+        for head in heads:
+            infer_body = (
+                Literal(t_atom, True),
+                Literal(Atom(markers[head.predicate], (guess_variable,)), True),
+            )
+            rules.append(NTGD(infer_body, (head,), label=f"rho_infer_{rule_index}"))
+            stab_body = list(rule.body)
+            stab_body.append(Literal(head, True))
+            stab_body.append(Literal(Atom(markers[head.predicate], (guess_variable,)), True))
+            rules.append(
+                NTGD(tuple(stab_body), (t_atom,), label=f"rho_stab_{rule_index}")
+            )
+
+    # --- fresh answer predicate ----------------------------------------------
+    answer = query.answer_predicate
+    primed = Predicate(f"{answer.name}_ans", answer.arity)
+    answer_variables = tuple(Variable(f"A{i}") for i in range(answer.arity))
+    rules.append(
+        NTGD(
+            (Literal(Atom(answer, answer_variables), True),) if answer.arity else (
+                Literal(Atom(answer, ()), True),
+            ),
+            (Atom(primed, answer_variables),),
+            label="answer_copy",
+        )
+    )
+
+    watgd = WatgdQuery(RuleSet(tuple(rules)), primed)
+    recommended = len(schema) + sum(1 for rule in program if rule.is_disjunctive)
+    return TranslationResult(watgd, markers, recommended)

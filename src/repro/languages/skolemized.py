@@ -1,0 +1,82 @@
+"""Skolemized query languages (Section 7.2, Theorems 19 and 20).
+
+``SWATGD¬ = { sk(Σ) | Σ ∈ WATGD¬ }``: the normal programs obtained by
+Skolemizing weakly-acyclic NTGD sets.  By Theorem 1 the LP approach and the
+second-order approach coincide on such programs, so the query languages
+``SWATGD¬_c`` / ``SWATGD¬_b`` are evaluated here through the LP pipeline
+(Skolemization → grounding → ground stable models).  Theorem 19 states that —
+unless the polynomial hierarchy collapses — they are strictly *less*
+expressive than WATGD¬_c / WATGD¬_b (they live in coNP / NP), which the
+benchmarks illustrate by contrasting the two evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..classes.position_graph import is_weakly_acyclic
+from ..core.atoms import Predicate
+from ..core.database import Database
+from ..core.rules import RuleSet
+from ..core.terms import Constant, Term
+from ..errors import UnsupportedClassError
+from ..lp.solver import lp_stable_models
+
+__all__ = ["SkolemizedWatgdQuery"]
+
+
+@dataclass(frozen=True)
+class SkolemizedWatgdQuery:
+    """A SWATGD¬ query: a Skolemized weakly-acyclic program plus an answer predicate."""
+
+    program: RuleSet
+    answer_predicate: Predicate
+    check_class: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.program, RuleSet):
+            object.__setattr__(self, "program", RuleSet(tuple(self.program)))
+        if self.check_class and not is_weakly_acyclic(self.program):
+            raise UnsupportedClassError("the query program is not weakly acyclic")
+
+    def _models(self, database: Database, max_undefined: int):
+        return lp_stable_models(database, self.program, max_undefined=max_undefined)
+
+    def _answers_in(self, model) -> frozenset[tuple[Term, ...]]:
+        return frozenset(
+            tuple(atom.terms)
+            for atom in model
+            if atom.predicate == self.answer_predicate
+            and all(isinstance(term, Constant) for term in atom.terms)
+        )
+
+    def cautious(
+        self, database: Database, max_undefined: int = 24
+    ) -> frozenset[tuple[Term, ...]]:
+        """Answers present in every LP stable model of the Skolemized program."""
+        answers: Optional[set[tuple[Term, ...]]] = None
+        for model in self._models(database, max_undefined):
+            current = set(self._answers_in(model))
+            answers = current if answers is None else answers & current
+            if not answers:
+                return frozenset()
+        return frozenset(answers) if answers is not None else frozenset()
+
+    def brave(
+        self, database: Database, max_undefined: int = 24
+    ) -> frozenset[tuple[Term, ...]]:
+        """Answers present in some LP stable model of the Skolemized program."""
+        answers: set[tuple[Term, ...]] = set()
+        for model in self._models(database, max_undefined):
+            answers.update(self._answers_in(model))
+        return frozenset(answers)
+
+    def evaluate(
+        self, database: Database, semantics: str = "cautious", **kwargs
+    ) -> frozenset[tuple[Term, ...]]:
+        if semantics == "cautious":
+            return self.cautious(database, **kwargs)
+        if semantics == "brave":
+            return self.brave(database, **kwargs)
+        raise ValueError(f"unknown semantics {semantics!r}")

@@ -1,0 +1,145 @@
+"""The WATGD¬ query languages of Section 7.
+
+A WATGD¬ query is a pair ``(Σ, q)`` where Σ is a weakly-acyclic set of NTGDs
+(the query program) and ``q/n`` a predicate not occurring in rule bodies.
+Given a database over the extensional schema, the answer under the *cautious*
+semantics is the set of tuples in ``q`` in every stable model, and under the
+*brave* semantics the set of tuples in ``q`` in some stable model.  Theorem 17
+shows these languages capture ΠP2 and ΣP2 respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..classes.position_graph import is_weakly_acyclic
+from ..core.atoms import Atom, Predicate
+from ..core.database import Database
+from ..core.rules import NTGD, RuleSet
+from ..core.terms import Constant, Term, Variable
+from ..errors import UnsupportedClassError
+from ..stable.engine import StableModelEngine
+from ..stable.universe import Universe
+
+__all__ = ["WatgdQuery"]
+
+
+@dataclass(frozen=True)
+class WatgdQuery:
+    """A WATGD¬ query ``(Σ, q)`` evaluated under cautious or brave semantics.
+
+    Parameters
+    ----------
+    program:
+        The query program Σ (must be weakly acyclic unless ``check_class`` is
+        disabled).
+    answer_predicate:
+        The predicate ``q`` collecting the answers; it must not occur in any
+        rule body.
+    check_class:
+        Whether to enforce membership in WATGD¬ at construction time.
+    """
+
+    program: RuleSet
+    answer_predicate: Predicate
+    check_class: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.program, RuleSet):
+            object.__setattr__(self, "program", RuleSet(tuple(self.program)))
+        if self.check_class and not is_weakly_acyclic(self.program):
+            raise UnsupportedClassError("the query program is not weakly acyclic")
+        for rule in self.program:
+            if self.answer_predicate in rule.body_predicates:
+                raise ValueError(
+                    f"answer predicate {self.answer_predicate} occurs in a rule body"
+                )
+
+    # ----------------------------------------------------------------- views
+    @property
+    def arity(self) -> int:
+        return self.answer_predicate.arity
+
+    def extensional_schema(self) -> frozenset[Predicate]:
+        """``edb(Σ)``: predicates whose values come from the input database."""
+        return self.program.extensional_predicates()
+
+    def intensional_schema(self) -> frozenset[Predicate]:
+        return self.program.intensional_predicates()
+
+    # ------------------------------------------------------------ evaluation
+    def _engine(
+        self,
+        database: Database,
+        universe: Optional[Universe],
+        extra_constants: Iterable[Constant],
+        max_nulls: int,
+        max_states: int,
+    ) -> StableModelEngine:
+        return StableModelEngine(
+            database,
+            self.program,
+            universe=universe,
+            extra_constants=tuple(extra_constants),
+            max_nulls=max_nulls,
+            max_states=max_states,
+        )
+
+    def _answers_in(self, model) -> frozenset[tuple[Term, ...]]:
+        collected = set()
+        for atom in model.atoms_of(self.answer_predicate):
+            if all(isinstance(term, Constant) for term in atom.terms):
+                collected.add(tuple(atom.terms))
+        return frozenset(collected)
+
+    def cautious(
+        self,
+        database: Database,
+        universe: Optional[Universe] = None,
+        extra_constants: Iterable[Constant] = (),
+        max_nulls: int = 1,
+        max_states: int = 500_000,
+    ) -> frozenset[tuple[Term, ...]]:
+        """``Q(D)`` under the cautious stable model semantics (WATGD¬_c)."""
+        engine = self._engine(database, universe, extra_constants, max_nulls, max_states)
+        answers: Optional[set[tuple[Term, ...]]] = None
+        for model in engine.stable_models():
+            model_answers = set(self._answers_in(model))
+            answers = model_answers if answers is None else answers & model_answers
+            if not answers:
+                return frozenset()
+        return frozenset(answers) if answers is not None else frozenset()
+
+    def brave(
+        self,
+        database: Database,
+        universe: Optional[Universe] = None,
+        extra_constants: Iterable[Constant] = (),
+        max_nulls: int = 1,
+        max_states: int = 500_000,
+    ) -> frozenset[tuple[Term, ...]]:
+        """``Q(D)`` under the brave stable model semantics (WATGD¬_b)."""
+        engine = self._engine(database, universe, extra_constants, max_nulls, max_states)
+        answers: set[tuple[Term, ...]] = set()
+        for model in engine.stable_models():
+            answers.update(self._answers_in(model))
+        return frozenset(answers)
+
+    def evaluate(
+        self, database: Database, semantics: str = "cautious", **kwargs
+    ) -> frozenset[tuple[Term, ...]]:
+        """Evaluate under ``semantics`` in ``{"cautious", "brave"}``."""
+        if semantics == "cautious":
+            return self.cautious(database, **kwargs)
+        if semantics == "brave":
+            return self.brave(database, **kwargs)
+        raise ValueError(f"unknown semantics {semantics!r}")
+
+    def holds(
+        self, database: Database, semantics: str = "cautious", **kwargs
+    ) -> bool:
+        """For a 0-ary answer predicate: is the empty tuple an answer?"""
+        if self.arity != 0:
+            raise ValueError("holds() is only defined for 0-ary answer predicates")
+        return () in self.evaluate(database, semantics, **kwargs)

@@ -1,0 +1,42 @@
+"""The Logic Programming (Skolemization) approach and related semantics.
+
+This subpackage implements the baseline the paper argues against
+(Section 3.1): Skolemization of NTGDs into normal logic programs, relevant
+grounding, the Gelfond–Lifschitz reduct and stable models of ground programs,
+plus the well-founded semantics and the equality-friendly well-founded
+semantics (EFWFS) used in the Section 1 comparison.
+"""
+
+from .efwfs import InstantiationChoice, efwfs_entails, efwfs_models
+from .grounding import ground_program, positive_closure
+from .programs import NormalProgram, NormalRule
+from .reduct import gelfond_lifschitz_reduct, is_classical_model, least_model
+from .skolem import skolemize, skolemize_rule
+from .solver import (
+    is_stable_model_lp,
+    lp_entails_cautiously,
+    lp_stable_models,
+    stable_models_ground,
+)
+from .wfs import WellFoundedModel, well_founded_model
+
+__all__ = [
+    "InstantiationChoice",
+    "NormalProgram",
+    "NormalRule",
+    "WellFoundedModel",
+    "efwfs_entails",
+    "efwfs_models",
+    "gelfond_lifschitz_reduct",
+    "ground_program",
+    "is_classical_model",
+    "is_stable_model_lp",
+    "least_model",
+    "lp_entails_cautiously",
+    "lp_stable_models",
+    "positive_closure",
+    "skolemize",
+    "skolemize_rule",
+    "stable_models_ground",
+    "well_founded_model",
+]

@@ -1,0 +1,106 @@
+"""Bottom-up (relevant) grounding of normal logic programs.
+
+The LP approach requires the grounding ``ground(Π_{D,Σ})`` of the Skolemized
+program over its Herbrand universe.  The full grounding is infinite as soon as
+a Skolem function is present, so — like every practical ASP grounder — this
+module computes the *relevant* grounding: ground rules whose positive body is
+derivable when negation is ignored.  The relevant grounding has the same
+stable models as the full grounding (atoms outside the positive closure can
+never be true in a stable model), and it is finite exactly when the positive
+closure is finite, which is guaranteed for Skolemizations of weakly-acyclic
+rule sets.
+
+A ``max_atoms`` budget turns non-terminating groundings (e.g. Skolemizations
+of non-weakly-acyclic programs) into a clean :class:`SolverLimitError`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.homomorphism import AtomIndex, extend_homomorphisms
+from ..errors import SolverLimitError
+from .programs import NormalProgram, NormalRule
+
+__all__ = ["ground_program", "positive_closure"]
+
+_DEFAULT_MAX_ATOMS = 200_000
+
+
+def positive_closure(
+    program: NormalProgram,
+    facts: Iterable[Atom] = (),
+    max_atoms: Optional[int] = _DEFAULT_MAX_ATOMS,
+) -> frozenset[Atom]:
+    """The least fixpoint of the program with negation ignored.
+
+    This is the over-approximation of the atoms that can possibly be true in
+    some stable model; it drives the relevant grounding.
+    """
+    derived: set[Atom] = set(facts)
+    for rule in program:
+        if rule.is_fact and rule.head.is_ground:
+            derived.add(rule.head)
+    index = AtomIndex(derived)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program:
+            if rule.is_fact:
+                continue
+            for assignment in extend_homomorphisms(list(rule.positive_body), index):
+                head = rule.substitute(assignment).head
+                if not head.is_ground:
+                    continue
+                if head not in derived:
+                    derived.add(head)
+                    index.add(head)
+                    changed = True
+                    if max_atoms is not None and len(derived) > max_atoms:
+                        raise SolverLimitError(
+                            "positive closure exceeded max_atoms; the program "
+                            "is likely not weakly acyclic after Skolemization"
+                        )
+    return frozenset(derived)
+
+
+def ground_program(
+    program: NormalProgram,
+    database: Database | Iterable[Atom] = (),
+    max_atoms: Optional[int] = _DEFAULT_MAX_ATOMS,
+) -> NormalProgram:
+    """The relevant grounding of *program* over *database*.
+
+    Every database atom becomes a fact of the resulting ground program; every
+    rule is instantiated with all substitutions whose positive body lies in
+    the positive closure.  Negative body atoms are instantiated alongside
+    (rules are safe, so they become ground too).
+    """
+    facts = database.atoms if isinstance(database, Database) else frozenset(database)
+    closure = positive_closure(program, facts, max_atoms)
+    index = AtomIndex(closure)
+    ground_rules: list[NormalRule] = [NormalRule(atom) for atom in sorted(facts, key=lambda a: a.sort_key())]
+    for rule in program:
+        if rule.is_fact:
+            if rule.head.is_ground:
+                ground_rules.append(rule)
+            continue
+        for assignment in extend_homomorphisms(list(rule.positive_body), index):
+            instance = rule.substitute(assignment)
+            if not instance.is_ground:
+                # Unsafe variables occurring only in negative literals are
+                # rejected earlier (rule safety), so this cannot happen for
+                # programs produced by Skolemization.
+                continue
+            ground_rules.append(instance)
+    # Deduplicate while keeping the deterministic order.
+    seen: set[str] = set()
+    unique: list[NormalRule] = []
+    for rule in ground_rules:
+        key = str(rule)
+        if key not in seen:
+            seen.add(key)
+            unique.append(rule)
+    return NormalProgram(tuple(unique))

@@ -1,0 +1,157 @@
+"""Normal logic programs (with function symbols).
+
+The LP approach to stable model semantics for NTGDs (paper, Section 3.1)
+first Skolemizes the rules, obtaining a *normal logic program*: a set of rules
+
+    head  <-  b1, ..., bn, not c1, ..., not ck
+
+with a single head atom and possibly functional (Skolem) terms.  This module
+defines the program representation shared by the grounder, the reduct, the
+stable-model solver and the well-founded semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..core.atoms import Atom, Predicate, apply_substitution
+from ..core.terms import Variable
+
+__all__ = ["NormalRule", "NormalProgram"]
+
+
+@dataclass(frozen=True)
+class NormalRule:
+    """A normal rule ``head <- positive_body, not negative_body``."""
+
+    head: Atom
+    positive_body: tuple[Atom, ...] = field(default_factory=tuple)
+    negative_body: tuple[Atom, ...] = field(default_factory=tuple)
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "positive_body", tuple(self.positive_body))
+        object.__setattr__(self, "negative_body", tuple(self.negative_body))
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.positive_body and not self.negative_body
+
+    @property
+    def is_ground(self) -> bool:
+        return (
+            self.head.is_ground
+            and all(atom.is_ground for atom in self.positive_body)
+            and all(atom.is_ground for atom in self.negative_body)
+        )
+
+    @property
+    def is_positive(self) -> bool:
+        return not self.negative_body
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        found: set[Variable] = set(self.head.variables)
+        for atom in self.positive_body:
+            found.update(atom.variables)
+        for atom in self.negative_body:
+            found.update(atom.variables)
+        return frozenset(found)
+
+    @property
+    def predicates(self) -> frozenset[Predicate]:
+        found = {self.head.predicate}
+        found.update(atom.predicate for atom in self.positive_body)
+        found.update(atom.predicate for atom in self.negative_body)
+        return frozenset(found)
+
+    def substitute(self, substitution) -> "NormalRule":
+        return NormalRule(
+            apply_substitution(self.head, substitution),
+            tuple(apply_substitution(a, substitution) for a in self.positive_body),
+            tuple(apply_substitution(a, substitution) for a in self.negative_body),
+            label=self.label,
+        )
+
+    def __str__(self) -> str:
+        body_parts = [str(atom) for atom in self.positive_body]
+        body_parts += [f"not {atom}" for atom in self.negative_body]
+        if body_parts:
+            return f"{self.head} <- {', '.join(body_parts)}"
+        return f"{self.head}."
+
+
+@dataclass(frozen=True)
+class NormalProgram:
+    """A finite set of normal rules, kept in a deterministic order."""
+
+    rules: tuple[NormalRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def __iter__(self) -> Iterator[NormalRule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __getitem__(self, index: int) -> NormalRule:
+        return self.rules[index]
+
+    @property
+    def is_ground(self) -> bool:
+        return all(rule.is_ground for rule in self.rules)
+
+    @property
+    def is_positive(self) -> bool:
+        return all(rule.is_positive for rule in self.rules)
+
+    @property
+    def predicates(self) -> frozenset[Predicate]:
+        found: set[Predicate] = set()
+        for rule in self.rules:
+            found.update(rule.predicates)
+        return frozenset(found)
+
+    def herbrand_base(self) -> frozenset[Atom]:
+        """All ground atoms occurring in a ground program (head or body)."""
+        atoms: set[Atom] = set()
+        for rule in self.rules:
+            atoms.add(rule.head)
+            atoms.update(rule.positive_body)
+            atoms.update(rule.negative_body)
+        return frozenset(atoms)
+
+    def facts(self) -> frozenset[Atom]:
+        return frozenset(rule.head for rule in self.rules if rule.is_fact)
+
+    def extend(self, rules: Iterable[NormalRule]) -> "NormalProgram":
+        return NormalProgram(self.rules + tuple(rules))
+
+    def with_facts(self, atoms: Iterable[Atom]) -> "NormalProgram":
+        return self.extend(NormalRule(atom) for atom in atoms)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+    def as_rule_set(self):
+        """View the program as a set of (existential-free) NTGDs.
+
+        Skolemized programs contain no existential variables, so every normal
+        rule is literally an NTGD with a single head atom; this view is what
+        lets the second-order semantics be applied to Skolemized programs when
+        validating Theorem 1 (``SMS_LP(Π) = SMS_SO(Π)``).
+        """
+        from ..core.atoms import Literal
+        from ..core.rules import NTGD, RuleSet
+
+        rules = []
+        for rule in self.rules:
+            body = tuple(
+                [Literal(atom, True) for atom in rule.positive_body]
+                + [Literal(atom, False) for atom in rule.negative_body]
+            )
+            rules.append(NTGD(body, (rule.head,), label=rule.label))
+        return RuleSet(tuple(rules))

@@ -1,0 +1,57 @@
+"""The Gelfond–Lifschitz reduct and least models of positive ground programs."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.atoms import Atom
+from .programs import NormalProgram, NormalRule
+
+__all__ = ["gelfond_lifschitz_reduct", "least_model", "is_classical_model"]
+
+
+def gelfond_lifschitz_reduct(
+    program: NormalProgram, interpretation: Iterable[Atom]
+) -> NormalProgram:
+    """``Π^I``: drop rules with a negative literal in *interpretation*, then
+    erase the remaining negative literals.
+
+    The input program must be ground.
+    """
+    atoms = frozenset(interpretation)
+    reduced: list[NormalRule] = []
+    for rule in program:
+        if any(atom in atoms for atom in rule.negative_body):
+            continue
+        reduced.append(NormalRule(rule.head, rule.positive_body, (), label=rule.label))
+    return NormalProgram(tuple(reduced))
+
+
+def least_model(program: NormalProgram) -> frozenset[Atom]:
+    """The least Herbrand model of a positive ground program (T_P fixpoint)."""
+    derived: set[Atom] = set()
+    rules = list(program)
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if rule.negative_body:
+                raise ValueError("least_model expects a positive program")
+            if rule.head in derived:
+                continue
+            if all(atom in derived for atom in rule.positive_body):
+                derived.add(rule.head)
+                changed = True
+    return frozenset(derived)
+
+
+def is_classical_model(program: NormalProgram, interpretation: Iterable[Atom]) -> bool:
+    """``I |= Π`` for a ground normal program (rule satisfaction)."""
+    atoms = frozenset(interpretation)
+    for rule in program:
+        body_holds = all(atom in atoms for atom in rule.positive_body) and all(
+            atom not in atoms for atom in rule.negative_body
+        )
+        if body_holds and rule.head not in atoms:
+            return False
+    return True

@@ -1,0 +1,54 @@
+"""Skolemization of NTGDs (the first step of the LP approach, Section 3.1).
+
+The Skolemization of an NTGD
+
+    forall X forall Y ( phi(X, Y) -> exists Z psi(X, Z) )
+
+replaces every existentially quantified variable ``Z`` by the functional term
+``f_{σ,Z}(X, Y)`` over the universally quantified variables, producing the
+normal rule ``psi(X, f_σ(X, Y)) <- phi(X, Y)``.  Because normal logic
+programs have single-atom heads, a rule whose head is a conjunction of ``m``
+atoms is split into ``m`` rules sharing the same body and the same Skolem
+functions (this preserves the stable models of the program).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.atoms import apply_substitution
+from ..core.rules import NTGD, RuleSet
+from ..core.terms import FunctionTerm, Variable
+from .programs import NormalProgram, NormalRule
+
+__all__ = ["skolemize_rule", "skolemize"]
+
+
+def skolemize_rule(rule: NTGD, rule_index: int = 0) -> list[NormalRule]:
+    """Skolemize one NTGD into one normal rule per head atom."""
+    # The Skolem functions take the *frontier* variables as arguments.  The
+    # paper's definition uses all universally quantified variables (X ∪ Y);
+    # using the frontier is the standard optimisation and yields a program
+    # with the same stable models restricted to the original schema, but we
+    # follow the paper literally to keep Theorem 1 experiments faithful.
+    universal = sorted(rule.body_variables, key=lambda v: v.name)
+    substitution: dict[Variable, FunctionTerm] = {}
+    for variable in sorted(rule.existential_variables, key=lambda v: v.name):
+        function_name = f"sk_{rule_index}_{variable.name}"
+        substitution[variable] = FunctionTerm(function_name, tuple(universal))
+    skolem_head = tuple(apply_substitution(atom, substitution) for atom in rule.head)
+    positive = tuple(literal.atom for literal in rule.positive_body)
+    negative = tuple(literal.atom for literal in rule.negative_body)
+    return [
+        NormalRule(head_atom, positive, negative, label=f"{rule.label}#{position}")
+        for position, head_atom in enumerate(skolem_head)
+    ]
+
+
+def skolemize(rules: RuleSet | Sequence[NTGD]) -> NormalProgram:
+    """``sk(Σ)``: the normal logic program obtained by Skolemizing Σ."""
+    rule_list = list(rules)
+    produced: list[NormalRule] = []
+    for index, rule in enumerate(rule_list):
+        produced.extend(skolemize_rule(rule, index))
+    return NormalProgram(tuple(produced))

@@ -1,0 +1,70 @@
+"""The well-founded semantics for ground normal programs.
+
+Implemented via the classical alternating fixpoint of Van Gelder: let
+``Γ(X)`` be the least model of the Gelfond–Lifschitz reduct ``Π^X``.  ``Γ`` is
+antimonotone, so ``Γ²`` is monotone; the well-founded model is
+
+* true atoms  ``W⁺ = lfp(Γ²)``,
+* possibly-true atoms ``Γ(W⁺)``,
+* false atoms = Herbrand base minus ``Γ(W⁺)``,
+* undefined atoms = ``Γ(W⁺) \\ W⁺``.
+
+The well-founded semantics is used in two places: as the polynomial
+"determined core" that prunes the stable-model search of :mod:`repro.lp.solver`
+and as the building block of the equality-friendly well-founded semantics
+(:mod:`repro.lp.efwfs`) the paper discusses in Section 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.atoms import Atom
+from .programs import NormalProgram
+from .reduct import gelfond_lifschitz_reduct, least_model
+
+__all__ = ["WellFoundedModel", "well_founded_model"]
+
+
+@dataclass(frozen=True)
+class WellFoundedModel:
+    """The three-valued well-founded model of a ground normal program."""
+
+    true: frozenset[Atom]
+    false: frozenset[Atom]
+    undefined: frozenset[Atom]
+
+    @property
+    def is_total(self) -> bool:
+        """``True`` iff no atom is undefined (the WFS is then the unique stable model)."""
+        return not self.undefined
+
+    def value(self, atom: Atom) -> str:
+        """The truth value of *atom*: ``"true"``, ``"false"`` or ``"undefined"``."""
+        if atom in self.true:
+            return "true"
+        if atom in self.undefined:
+            return "undefined"
+        return "false"
+
+
+def _gamma(program: NormalProgram, atoms: frozenset[Atom]) -> frozenset[Atom]:
+    return least_model(gelfond_lifschitz_reduct(program, atoms))
+
+
+def well_founded_model(program: NormalProgram) -> WellFoundedModel:
+    """Compute the well-founded model of a ground normal program."""
+    if not program.is_ground:
+        raise ValueError("well_founded_model expects a ground program")
+    herbrand = program.herbrand_base()
+    true: frozenset[Atom] = frozenset()
+    while True:
+        upper = _gamma(program, true)
+        next_true = _gamma(program, upper)
+        if next_true == true:
+            break
+        true = next_true
+    upper = _gamma(program, true)
+    false = herbrand - upper
+    undefined = upper - true
+    return WellFoundedModel(true, frozenset(false), frozenset(undefined))

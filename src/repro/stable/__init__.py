@@ -1,0 +1,94 @@
+"""The paper's contribution: the second-order stable model semantics (Section 3).
+
+Public entry points:
+
+* :class:`Universe` — the finite domain pool stable models are generated over;
+* :func:`is_stable_model` — Definition 1 applied to a candidate interpretation;
+* :func:`enumerate_stable_models` / :func:`solve` — ``SMS(D, Σ)``;
+* :func:`certain_answer` / :func:`possible_answer` — ``SMS-QAns`` under the
+  cautious and brave semantics;
+* :class:`StableModelEngine` — the reusable object API behind the functions;
+* the supporting machinery: the τ transformation (:mod:`repro.stable.transform`),
+  minimal models (:mod:`repro.stable.minimal`), the immediate-consequence
+  operator (:mod:`repro.stable.consequence`) and witnesses / W-Stability
+  (:mod:`repro.stable.witness`).
+"""
+
+from .consequence import (
+    consequence_operator,
+    immediate_consequences,
+    iterate_consequences,
+    least_fixpoint,
+    satisfies_lemma7,
+)
+from .engine import (
+    StableModelEngine,
+    brave_answers,
+    cautious_answers,
+    certain_answer,
+    enumerate_stable_models,
+    possible_answer,
+    solve,
+)
+from .generator import GenerationStatistics, generate_candidate_models
+from .minimal import find_smaller_model, is_minimal_model, minimal_models_among
+from .stability import (
+    find_smaller_reduct_model,
+    is_stable_model,
+    stability_counterexample,
+)
+from .transform import (
+    StarredSchema,
+    circumscription_rules,
+    star_schema,
+    tau_database,
+    tau_literal,
+    tau_rules,
+)
+from .universe import Universe
+from .witness import (
+    Witness,
+    WitnessEntry,
+    all_witnesses_positive,
+    compute_witness,
+    compute_witnesses,
+    verify_subset_against_witnesses,
+    w_stability,
+)
+
+__all__ = [
+    "GenerationStatistics",
+    "StableModelEngine",
+    "StarredSchema",
+    "Universe",
+    "Witness",
+    "WitnessEntry",
+    "all_witnesses_positive",
+    "brave_answers",
+    "cautious_answers",
+    "certain_answer",
+    "circumscription_rules",
+    "compute_witness",
+    "compute_witnesses",
+    "consequence_operator",
+    "enumerate_stable_models",
+    "find_smaller_model",
+    "find_smaller_reduct_model",
+    "generate_candidate_models",
+    "immediate_consequences",
+    "is_minimal_model",
+    "is_stable_model",
+    "iterate_consequences",
+    "least_fixpoint",
+    "minimal_models_among",
+    "possible_answer",
+    "satisfies_lemma7",
+    "solve",
+    "stability_counterexample",
+    "star_schema",
+    "tau_database",
+    "tau_literal",
+    "tau_rules",
+    "verify_subset_against_witnesses",
+    "w_stability",
+]

@@ -1,0 +1,229 @@
+"""The stable-model engine: enumeration and conjunctive query answering.
+
+This module ties together the generator (candidate models), the stability
+checker (Definition 1) and the query evaluator to provide the operations the
+paper studies:
+
+* ``SMS(D, Σ)`` — enumeration of the stable models over a finite universe;
+* ``SMS-QAns`` — certain (cautious) answering of normal Boolean conjunctive
+  queries, the decision problem of Section 3.4;
+* brave answering and answer-tuple computation for the query languages of
+  Section 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.interpretation import Interpretation
+from ..core.queries import ConjunctiveQuery
+from ..core.rules import NTGD, RuleSet
+from ..core.terms import Constant, Term
+from .generator import GenerationStatistics, generate_candidate_models
+from .stability import find_smaller_reduct_model
+from .universe import Universe
+
+__all__ = [
+    "StableModelEngine",
+    "enumerate_stable_models",
+    "solve",
+    "certain_answer",
+    "possible_answer",
+    "cautious_answers",
+    "brave_answers",
+]
+
+
+@dataclass
+class StableModelEngine:
+    """A reusable solver for one ``(D, Σ)`` pair over a finite universe.
+
+    Parameters
+    ----------
+    database, rules:
+        The input pair.
+    universe:
+        The finite pool of domain elements; when omitted it defaults to the
+        database constants plus ``max_nulls`` fresh nulls.
+    extra_constants, max_nulls:
+        Convenience knobs used when *universe* is not given explicitly.
+    max_states:
+        Budget for the candidate generator (per enumeration).
+    """
+
+    database: Database
+    rules: RuleSet
+    universe: Optional[Universe] = None
+    extra_constants: tuple[Constant, ...] = field(default_factory=tuple)
+    max_nulls: int = 1
+    max_states: int = 500_000
+    statistics: GenerationStatistics = field(default_factory=GenerationStatistics)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, RuleSet):
+            self.rules = RuleSet(tuple(self.rules))
+        if self.universe is None:
+            self.universe = Universe.for_database(
+                self.database, self.extra_constants, self.max_nulls
+            )
+
+    # ------------------------------------------------------------ enumeration
+    def candidate_models(self) -> Iterator[Interpretation]:
+        """The classical-model candidates produced by the generator."""
+        yield from generate_candidate_models(
+            self.database,
+            self.rules,
+            self.universe,
+            max_states=self.max_states,
+            statistics=self.statistics,
+        )
+
+    def stable_models(self) -> Iterator[Interpretation]:
+        """``SMS(D, Σ)`` restricted to the engine's universe."""
+        for candidate in self.candidate_models():
+            if (
+                find_smaller_reduct_model(candidate, self.database, self.rules)
+                is None
+            ):
+                yield candidate
+
+    def has_stable_model(self) -> bool:
+        return next(self.stable_models(), None) is not None
+
+    def is_stable(self, candidate: Interpretation | Iterable[Atom]) -> bool:
+        """Definition 1 applied to an arbitrary candidate interpretation."""
+        from .stability import is_stable_model
+
+        return is_stable_model(candidate, self.database, self.rules)
+
+    # ------------------------------------------------------- query answering
+    def entails_cautiously(self, query: ConjunctiveQuery) -> bool:
+        """``(D, Σ) |=_SMS q``: the query holds in every stable model.
+
+        Following the paper's convention, the entailment is vacuously true
+        when there is no stable model over the universe.
+        """
+        for model in self.stable_models():
+            if not query.holds_in(model):
+                return False
+        return True
+
+    def entails_bravely(self, query: ConjunctiveQuery) -> bool:
+        """Some stable model satisfies the query."""
+        for model in self.stable_models():
+            if query.holds_in(model):
+                return True
+        return False
+
+    def cautious_answers(self, query: ConjunctiveQuery) -> frozenset[tuple[Term, ...]]:
+        """``⋂_{M ∈ SMS(D,Σ)} q(M)`` (Section 3.4)."""
+        answers: Optional[set[tuple[Term, ...]]] = None
+        for model in self.stable_models():
+            model_answers = set(query.answers(model))
+            answers = model_answers if answers is None else answers & model_answers
+            if not answers:
+                return frozenset()
+        return frozenset(answers) if answers is not None else frozenset()
+
+    def brave_answers(self, query: ConjunctiveQuery) -> frozenset[tuple[Term, ...]]:
+        """``⋃_{M ∈ SMS(D,Σ)} q(M)`` (the brave semantics of Section 7)."""
+        answers: set[tuple[Term, ...]] = set()
+        for model in self.stable_models():
+            answers.update(query.answers(model))
+        return frozenset(answers)
+
+
+# --------------------------------------------------------------------------
+# Convenience functions mirroring the paper's notation
+# --------------------------------------------------------------------------
+
+def _engine(
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    universe: Optional[Universe] = None,
+    extra_constants: Iterable[Constant] = (),
+    max_nulls: int = 1,
+    max_states: int = 500_000,
+) -> StableModelEngine:
+    rule_set = rules if isinstance(rules, RuleSet) else RuleSet(tuple(rules))
+    return StableModelEngine(
+        database,
+        rule_set,
+        universe=universe,
+        extra_constants=tuple(extra_constants),
+        max_nulls=max_nulls,
+        max_states=max_states,
+    )
+
+
+def enumerate_stable_models(
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    universe: Optional[Universe] = None,
+    extra_constants: Iterable[Constant] = (),
+    max_nulls: int = 1,
+    max_states: int = 500_000,
+) -> Iterator[Interpretation]:
+    """Enumerate ``SMS(D, Σ)`` over a finite universe."""
+    yield from _engine(
+        database, rules, universe, extra_constants, max_nulls, max_states
+    ).stable_models()
+
+
+def solve(
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    universe: Optional[Universe] = None,
+    extra_constants: Iterable[Constant] = (),
+    max_nulls: int = 1,
+    max_states: int = 500_000,
+) -> list[Interpretation]:
+    """Materialise the stable models as a list (convenience wrapper)."""
+    return list(
+        enumerate_stable_models(
+            database, rules, universe, extra_constants, max_nulls, max_states
+        )
+    )
+
+
+def certain_answer(
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    query: ConjunctiveQuery,
+    **kwargs,
+) -> bool:
+    """``SMS-QAns``: does ``(D, Σ) |=_SMS q`` hold (cautious entailment)?"""
+    return _engine(database, rules, **kwargs).entails_cautiously(query)
+
+
+def possible_answer(
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    query: ConjunctiveQuery,
+    **kwargs,
+) -> bool:
+    """Brave entailment: some stable model satisfies the query."""
+    return _engine(database, rules, **kwargs).entails_bravely(query)
+
+
+def cautious_answers(
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    query: ConjunctiveQuery,
+    **kwargs,
+) -> frozenset[tuple[Term, ...]]:
+    """The certain answer tuples of a non-Boolean query."""
+    return _engine(database, rules, **kwargs).cautious_answers(query)
+
+
+def brave_answers(
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    query: ConjunctiveQuery,
+    **kwargs,
+) -> frozenset[tuple[Term, ...]]:
+    """The possible answer tuples of a non-Boolean query."""
+    return _engine(database, rules, **kwargs).brave_answers(query)

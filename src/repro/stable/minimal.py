@@ -1,0 +1,102 @@
+"""Minimal models and the MM[D, Σ] formula of Section 3.2.
+
+Circumscribing every predicate of ``D ∧ Σ`` yields a second-order formula
+``MM[D, Σ]`` whose models are exactly the (subset-)minimal models of
+``D ∧ Σ``.  The paper uses the ``{p(0)}`` / ``p → r / r → t`` example to show
+why minimality alone does *not* capture stability: during the minimality
+check the extension of negated predicates may change.  This module provides
+executable minimal-model checking so that the difference can be demonstrated
+and benchmarked (experiment E4).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.interpretation import Interpretation
+from ..core.modelcheck import is_model
+from ..core.rules import NTGD, RuleSet
+from ..errors import SolverLimitError
+
+__all__ = ["find_smaller_model", "is_minimal_model", "minimal_models_among"]
+
+_MAX_REMOVABLE = 22
+
+
+def find_smaller_model(
+    candidate: Interpretation | Iterable[Atom],
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    max_removable: int = _MAX_REMOVABLE,
+) -> Optional[frozenset[Atom]]:
+    """A proper sub-model of the candidate (negation evaluated in the *submodel*).
+
+    This realises the minimality condition of MM[D, Σ]: we look for a proper
+    subset ``J ⊊ I⁺`` with ``D ⊆ J`` that is itself a model of ``D ∧ Σ``.
+    Unlike the stability check, negative literals are re-evaluated against
+    ``J``, so adding atoms can invalidate triggers and the search cannot be
+    confined to a monotone chase; the checker therefore enumerates subsets of
+    the removable atoms, which is exponential but perfectly adequate for the
+    small interpretations this is meant to explain.
+    """
+    full = (
+        candidate.positive
+        if isinstance(candidate, Interpretation)
+        else frozenset(candidate)
+    )
+    base = frozenset(database.atoms)
+    if not base <= full:
+        return None
+    removable = sorted(full - base, key=lambda atom: atom.sort_key())
+    if len(removable) > max_removable:
+        raise SolverLimitError(
+            f"{len(removable)} removable atoms exceed the minimality-check budget"
+        )
+    rule_set = rules if isinstance(rules, RuleSet) else RuleSet(tuple(rules))
+    # Enumerate candidate submodels from smallest to largest so that the first
+    # hit is itself minimal (handy for reporting).
+    for size in range(len(removable)):
+        for kept in combinations(removable, size):
+            subset = base | frozenset(kept)
+            if subset == full:
+                continue
+            if is_model(Interpretation(subset), database, rule_set):
+                return subset
+    return None
+
+
+def is_minimal_model(
+    candidate: Interpretation | Iterable[Atom],
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    max_removable: int = _MAX_REMOVABLE,
+) -> bool:
+    """``candidate |= MM[D, Σ]``: a model of ``D ∧ Σ`` with no proper sub-model."""
+    interpretation = (
+        candidate
+        if isinstance(candidate, Interpretation)
+        else Interpretation(frozenset(candidate))
+    )
+    rule_set = rules if isinstance(rules, RuleSet) else RuleSet(tuple(rules))
+    if not is_model(interpretation, database, rule_set):
+        return False
+    return find_smaller_model(interpretation, database, rule_set, max_removable) is None
+
+
+def minimal_models_among(
+    candidates: Iterable[Interpretation | frozenset[Atom]],
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+) -> Iterator[Interpretation]:
+    """Filter an iterable of candidate interpretations down to the minimal models."""
+    for candidate in candidates:
+        interpretation = (
+            candidate
+            if isinstance(candidate, Interpretation)
+            else Interpretation(frozenset(candidate))
+        )
+        if is_minimal_model(interpretation, database, rules):
+            yield interpretation

@@ -1,0 +1,136 @@
+"""The τ_{p▷s} transformation and the SM[D, Σ] / MM[D, Σ] formulas (Section 3).
+
+The paper characterises stable models through a second-order formula:
+
+    SM[D, Σ] = UNA[D] ∧ D ∧ Σ ∧ ¬∃s ( (s < p) ∧ τ_{p▷s}(D) ∧ τ_{p▷s}(Σ) )
+
+where ``p`` lists the schema predicates, ``s`` is a tuple of fresh predicate
+variables, and ``τ_{p▷s}`` replaces every *positive* literal ``p_i(t)`` by
+``s_i(t)`` while leaving negative literals on the original predicates (this is
+the one change that separates stable models from plain circumscription /
+minimal models, cf. Section 3.3).
+
+Second-order quantification cannot be executed directly, but over a *finite*
+candidate interpretation the quantifier ``∃s (s < p) ...`` ranges over tuples
+of sub-relations of the candidate; the stability checker
+(:mod:`repro.stable.stability`) searches that space.  This module provides the
+*syntactic* side: materialising the starred predicates, the transformed
+database and rule set, and the "minimal model" variant in which negative
+literals are starred as well (the MM[D, Σ] of Section 3.2).  These are used by
+the checkers, by tests that validate the construction, and by anyone who wants
+to inspect the reduct-like theory explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.atoms import Atom, Literal, Predicate
+from ..core.database import Database
+from ..core.interpretation import Interpretation
+from ..core.rules import NTGD, RuleSet
+
+__all__ = [
+    "StarredSchema",
+    "star_schema",
+    "tau_literal",
+    "tau_database",
+    "tau_rules",
+    "circumscription_rules",
+]
+
+_STAR_SUFFIX = "__star"
+
+
+@dataclass(frozen=True)
+class StarredSchema:
+    """The correspondence ``p_i ↦ s_i`` between schema and predicate variables."""
+
+    mapping: tuple[tuple[Predicate, Predicate], ...]
+
+    def star(self, predicate: Predicate) -> Predicate:
+        for original, starred in self.mapping:
+            if original == predicate:
+                return starred
+        raise KeyError(f"predicate {predicate} is not part of the starred schema")
+
+    def unstar(self, predicate: Predicate) -> Predicate:
+        for original, starred in self.mapping:
+            if starred == predicate:
+                return original
+        raise KeyError(f"predicate {predicate} is not a starred predicate")
+
+    def is_starred(self, predicate: Predicate) -> bool:
+        return any(starred == predicate for _, starred in self.mapping)
+
+    @property
+    def originals(self) -> tuple[Predicate, ...]:
+        return tuple(original for original, _ in self.mapping)
+
+    @property
+    def starred(self) -> tuple[Predicate, ...]:
+        return tuple(starred for _, starred in self.mapping)
+
+    def star_atom(self, atom: Atom) -> Atom:
+        return Atom(self.star(atom.predicate), atom.terms)
+
+    def unstar_atom(self, atom: Atom) -> Atom:
+        return Atom(self.unstar(atom.predicate), atom.terms)
+
+    def star_interpretation(self, atoms: Iterable[Atom]) -> frozenset[Atom]:
+        return frozenset(self.star_atom(atom) for atom in atoms)
+
+
+def star_schema(predicates: Iterable[Predicate]) -> StarredSchema:
+    """Create one fresh predicate variable ``s_i`` per schema predicate ``p_i``."""
+    mapping = []
+    for predicate in sorted(set(predicates), key=lambda p: (p.name, p.arity)):
+        starred = Predicate(predicate.name + _STAR_SUFFIX, predicate.arity)
+        mapping.append((predicate, starred))
+    return StarredSchema(tuple(mapping))
+
+
+def tau_literal(literal: Literal, schema: StarredSchema) -> Literal:
+    """``τ_{p▷s}`` on one literal: star positive literals, keep negative ones."""
+    if literal.positive:
+        return Literal(schema.star_atom(literal.atom), True)
+    return literal
+
+
+def tau_database(database: Database, schema: StarredSchema) -> frozenset[Atom]:
+    """``τ_{p▷s}(D)``: the database over the starred predicates."""
+    return frozenset(schema.star_atom(atom) for atom in database.atoms)
+
+
+def tau_rules(rules: RuleSet | Sequence[NTGD], schema: StarredSchema) -> RuleSet:
+    """``τ_{p▷s}(Σ)``: star positive body literals and head atoms, keep negatives.
+
+    The resulting rules mention two copies of the schema: the starred
+    predicates (quantified, "s") in positive positions and the original
+    predicates ("p", fixed by the candidate interpretation) in negative
+    positions.  This is exactly the shape the stability check evaluates.
+    """
+    transformed = []
+    for rule in rules:
+        body = tuple(tau_literal(literal, schema) for literal in rule.body)
+        head = tuple(schema.star_atom(atom) for atom in rule.head)
+        transformed.append(NTGD(body, head, label=f"tau({rule.label})"))
+    return RuleSet(tuple(transformed))
+
+
+def circumscription_rules(rules: RuleSet | Sequence[NTGD], schema: StarredSchema) -> RuleSet:
+    """The MM[D, Σ] variant (Section 3.2): *all* literals are starred.
+
+    This is plain circumscription — its models are the minimal models of
+    ``D ∧ Σ`` — and differs from ``τ_{p▷s}(Σ)`` only on negative literals.
+    """
+    transformed = []
+    for rule in rules:
+        body = []
+        for literal in rule.body:
+            starred_atom = schema.star_atom(literal.atom)
+            body.append(Literal(starred_atom, literal.positive))
+        head = tuple(schema.star_atom(atom) for atom in rule.head)
+        transformed.append(NTGD(tuple(body), head, label=f"mm({rule.label})"))
+    return RuleSet(tuple(transformed))

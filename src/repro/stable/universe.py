@@ -1,0 +1,110 @@
+"""Finite universes for stable-model generation.
+
+The paper's interpretations range over the countably infinite sets ``C`` of
+constants and ``N`` of labelled nulls.  The decidable fragment the paper
+actually computes with (weak acyclicity, Theorem 3 / Proposition 9) only ever
+needs *finite* models, and every finite stable model is isomorphic — up to
+renaming of nulls — to one whose domain is drawn from
+
+* the constants of the database,
+* any further constants the user cares about (e.g. ``bob`` in Example 2,
+  which does not occur in the database but may witness an existential), and
+* a finite budget of fresh labelled nulls.
+
+A :class:`Universe` bundles exactly this information and is the only knob a
+caller has to set to make the second-order semantics executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.database import Database
+from ..core.terms import Constant, GroundTerm, Null
+
+__all__ = ["Universe"]
+
+
+@dataclass(frozen=True)
+class Universe:
+    """A finite pool of domain elements for model generation.
+
+    Attributes
+    ----------
+    constants:
+        The constants available as witnesses for existential variables.  The
+        new semantics — unlike the LP approach and unlike the chase-based
+        operational semantics — allows an existential variable to be
+        witnessed by *any* domain element, including a constant that does not
+        occur in the database (this is what makes Example 4 work).
+    nulls:
+        A finite supply of fresh labelled nulls.  Symmetry between unused
+        nulls is broken by the generator (null ``i`` may only be introduced
+        once nulls ``0 .. i-1`` are in use).
+    """
+
+    constants: tuple[Constant, ...] = field(default_factory=tuple)
+    nulls: tuple[Null, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ordered_constants = tuple(
+            sorted(set(self.constants), key=lambda constant: constant.name)
+        )
+        ordered_nulls = tuple(sorted(set(self.nulls), key=lambda null: null.label))
+        object.__setattr__(self, "constants", ordered_constants)
+        object.__setattr__(self, "nulls", ordered_nulls)
+
+    # ----------------------------------------------------------------- views
+    @property
+    def elements(self) -> tuple[GroundTerm, ...]:
+        """All domain elements, constants first."""
+        return self.constants + self.nulls
+
+    def __len__(self) -> int:
+        return len(self.constants) + len(self.nulls)
+
+    def __contains__(self, term: GroundTerm) -> bool:
+        return term in self.constants or term in self.nulls
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    # ------------------------------------------------------------ operations
+    def with_constants(self, extra: Iterable[Constant]) -> "Universe":
+        return Universe(self.constants + tuple(extra), self.nulls)
+
+    def with_nulls(self, extra: Iterable[Null]) -> "Universe":
+        return Universe(self.constants, self.nulls + tuple(extra))
+
+    # ---------------------------------------------------------- constructors
+    @staticmethod
+    def for_database(
+        database: Database,
+        extra_constants: Iterable[Constant] = (),
+        max_nulls: int = 0,
+        null_prefix: str = "u",
+    ) -> "Universe":
+        """The universe of *database*: its constants, extras, and fresh nulls."""
+        constants = tuple(database.constants) + tuple(extra_constants)
+        nulls = tuple(Null(f"{null_prefix}{index}") for index in range(max_nulls))
+        return Universe(constants, nulls)
+
+    @staticmethod
+    def of(
+        constants: Sequence[Constant | str] = (),
+        max_nulls: int = 0,
+        null_prefix: str = "u",
+    ) -> "Universe":
+        """Build a universe from constant names and a null budget."""
+        resolved = tuple(
+            constant if isinstance(constant, Constant) else Constant(constant)
+            for constant in constants
+        )
+        nulls = tuple(Null(f"{null_prefix}{index}") for index in range(max_nulls))
+        return Universe(resolved, nulls)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [constant.name for constant in self.constants]
+        parts += [str(null) for null in self.nulls]
+        return "{" + ", ".join(parts) + "}"

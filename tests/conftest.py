@@ -1,0 +1,50 @@
+"""Shared fixtures: the paper's running examples as reusable objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Constant, Database, RuleSet, parse_database, parse_program
+from repro.stable import Universe
+
+
+@pytest.fixture
+def father_rules() -> RuleSet:
+    """The Example 1 rule set (each person has at most one biological father)."""
+    return parse_program(
+        """
+        person(X) -> exists Y. hasFather(X, Y)
+        hasFather(X, Y) -> sameAs(Y, Y)
+        hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X)
+        """
+    )
+
+
+@pytest.fixture
+def father_database() -> Database:
+    """The Example 2 database ``{person(Alice)}``."""
+    return parse_database("person(alice).")
+
+
+@pytest.fixture
+def father_universe(father_database) -> Universe:
+    """Universe used throughout Examples 2-4: alice, bob, one fresh null."""
+    return Universe.for_database(
+        father_database, extra_constants=[Constant("bob")], max_nulls=1
+    )
+
+
+@pytest.fixture
+def section32_rules() -> RuleSet:
+    """The Section 3.2 / 3.3 rule set ``p(X), not t(X) -> r(X); r(X) -> t(X)``."""
+    return parse_program(
+        """
+        p(X), not t(X) -> r(X)
+        r(X) -> t(X)
+        """
+    )
+
+
+@pytest.fixture
+def section32_database() -> Database:
+    return parse_database("p(0).")

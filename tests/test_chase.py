@@ -1,0 +1,152 @@
+"""Tests for the chase, its termination bounds and the operational semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Constant, parse_database, parse_program, parse_query
+from repro.chase import (
+    chase_size_bound,
+    is_operational_stable_model,
+    oblivious_chase,
+    operational_stable_models,
+    restricted_chase,
+    stable_model_size_bound,
+)
+from repro.core.homomorphism import embeds
+from repro.errors import UnsupportedClassError
+
+
+class TestRestrictedChase:
+    def test_simple_existential(self):
+        rules = parse_program("person(X) -> exists Y. hasFather(X, Y)")
+        database = parse_database("person(alice).")
+        result = restricted_chase(database, rules)
+        assert result.terminated
+        assert len(result) == 2
+        assert len(result.steps) == 1
+
+    def test_head_already_satisfied_is_not_refired(self):
+        rules = parse_program("person(X) -> exists Y. hasFather(X, Y)")
+        database = parse_database("person(alice). hasFather(alice, bob).")
+        result = restricted_chase(database, rules)
+        assert len(result.steps) == 0
+
+    def test_transitive_closure(self):
+        rules = parse_program("e(X, Y), e(Y, Z) -> e(X, Z)")
+        database = parse_database("e(a, b). e(b, c). e(c, d).")
+        result = restricted_chase(database, rules)
+        atoms = {str(atom) for atom in result.atoms}
+        assert "e(a,d)" in atoms
+        assert len(result) == 6
+
+    def test_weak_acyclicity_guard(self):
+        rules = parse_program("e(X, Y) -> exists Z. e(Y, Z)")
+        database = parse_database("e(a, b).")
+        with pytest.raises(UnsupportedClassError):
+            restricted_chase(database, rules)
+
+    def test_step_budget_for_non_terminating_sets(self):
+        rules = parse_program("e(X, Y) -> exists Z. e(Y, Z)")
+        database = parse_database("e(a, b).")
+        result = restricted_chase(database, rules, max_steps=5)
+        assert not result.terminated
+        assert len(result.steps) == 5
+
+    def test_negation_rejected(self):
+        rules = parse_program("p(X), not q(X) -> q(X)")
+        database = parse_database("p(a).")
+        with pytest.raises(UnsupportedClassError):
+            restricted_chase(database, rules)
+
+    def test_restricted_embeds_into_oblivious(self):
+        rules = parse_program(
+            """
+            p(X) -> exists Y. q(X, Y)
+            q(X, Y) -> r(X)
+            """
+        )
+        database = parse_database("p(a). p(b).")
+        restricted = restricted_chase(database, rules)
+        oblivious = oblivious_chase(database, rules)
+        assert embeds(restricted.atoms, oblivious.atoms)
+        assert len(oblivious) >= len(restricted)
+
+
+class TestObliviousChase:
+    def test_fires_even_when_satisfied(self):
+        rules = parse_program("person(X) -> exists Y. hasFather(X, Y)")
+        database = parse_database("person(alice). hasFather(alice, bob).")
+        result = oblivious_chase(database, rules)
+        assert len(result.steps) == 1
+        assert len(result) == 3
+
+
+class TestBounds:
+    def test_bound_dominates_chase_size(self):
+        rules = parse_program(
+            """
+            p(X) -> exists Y. q(X, Y)
+            q(X, Y) -> exists Z. r(Y, Z)
+            """
+        )
+        database = parse_database("p(a). p(b). p(c).")
+        bound = chase_size_bound(database, rules)
+        result = restricted_chase(database, rules)
+        assert len(result) <= bound
+
+    def test_bound_grows_polynomially_with_database(self):
+        rules = parse_program("p(X) -> exists Y. q(X, Y)")
+        small = parse_database("p(a).")
+        large = parse_database("p(a). p(b). p(c). p(d).")
+        assert chase_size_bound(large, rules) > chase_size_bound(small, rules)
+
+    def test_stable_bound_equals_chase_bound(self):
+        rules = parse_program("p(X), not q(X, X) -> exists Y. q(X, Y)")
+        database = parse_database("p(a).")
+        assert stable_model_size_bound(database, rules) == chase_size_bound(
+            database, rules
+        )
+
+
+class TestOperationalSemantics:
+    def test_father_example_unique_model_without_constants(self, father_rules, father_database):
+        """Baget et al.: existentials are always witnessed by fresh nulls.
+
+        Consequently hasFather(alice, bob) can never appear, and the
+        (unexpected, per the paper) answer ¬hasFather(alice, bob) follows.
+        """
+        models = list(operational_stable_models(father_database, father_rules))
+        assert len(models) == 1
+        model = models[0]
+        query = parse_query("? :- not hasFather(alice, bob)")
+        assert query.holds_in(model)
+        assert all(not atom.constants - {Constant("alice")} for atom in model)
+
+    def test_completeness_check(self, father_rules, father_database):
+        model = next(operational_stable_models(father_database, father_rules))
+        assert is_operational_stable_model(model, father_database, father_rules)
+        assert not is_operational_stable_model(
+            father_database.atoms, father_database, father_rules
+        )
+
+    def test_blocking_order_yields_multiple_models(self):
+        """Two rules blocking each other give two operational models (order matters)."""
+        rules = parse_program(
+            """
+            s(X), not q(X) -> p(X)
+            s(X), not p(X) -> q(X)
+            """
+        )
+        database = parse_database("s(a).")
+        models = list(operational_stable_models(database, rules))
+        rendered = {str(model) for model in models}
+        assert len(models) == 2
+        assert "{p(a), s(a)}" in rendered
+        assert "{q(a), s(a)}" in rendered
+
+    def test_unsupported_without_budget(self):
+        rules = parse_program("e(X, Y) -> exists Z. e(Y, Z)")
+        database = parse_database("e(a, b).")
+        with pytest.raises(UnsupportedClassError):
+            list(operational_stable_models(database, rules))

@@ -1,0 +1,188 @@
+"""Tests for the syntactic classes: weak acyclicity, stickiness (Figure 1), guardedness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_program, parse_disjunctive_program
+from repro.classes import (
+    Position,
+    build_position_graph,
+    compute_marking,
+    guard_of,
+    guardedness_report,
+    is_guarded,
+    is_sticky,
+    is_weakly_acyclic,
+    is_weakly_acyclic_disjunctive,
+    rank_of_positions,
+    sticky_witness,
+)
+from repro.core.atoms import Predicate
+from repro.core.terms import Variable
+
+
+class TestPositionGraph:
+    def test_regular_and_special_edges(self):
+        rules = parse_program("p(X) -> exists Y. q(X, Y)")
+        graph = build_position_graph(rules)
+        regular = {(str(e.source), str(e.target)) for e in graph.regular_edges()}
+        special = {(str(e.source), str(e.target)) for e in graph.special_edges()}
+        assert ("p[1]", "q[1]") in regular
+        assert ("p[1]", "q[2]") in special
+
+    def test_positions_cover_schema(self):
+        rules = parse_program("p(X) -> exists Y. q(X, Y)")
+        graph = build_position_graph(rules)
+        assert Position(Predicate("q", 2), 2) in graph.positions
+
+    def test_negative_literals_do_not_create_edges(self):
+        with_negation = parse_program("p(X), not q(X, X) -> r(X)")
+        without = parse_program("p(X) -> r(X)")
+        assert (
+            build_position_graph(with_negation.strip_negation()).edges
+            == build_position_graph(without).edges
+        )
+
+
+class TestWeakAcyclicity:
+    def test_father_rules_are_weakly_acyclic(self, father_rules):
+        assert is_weakly_acyclic(father_rules)
+
+    def test_self_feeding_existential_is_not(self):
+        rules = parse_program("e(X, Y) -> exists Z. e(Y, Z)")
+        assert not is_weakly_acyclic(rules)
+
+    def test_existential_without_frontier_is_weakly_acyclic(self):
+        # p(X) -> exists Y. p(Y) generates no position-graph edges at all
+        # (no frontier variable), so it is weakly acyclic per Definition 3.
+        rules = parse_program("p(X) -> exists Y. p(Y)")
+        assert is_weakly_acyclic(rules)
+
+    def test_two_rule_cycle_through_special_edge(self):
+        rules = parse_program(
+            """
+            p(X) -> exists Y. q(X, Y)
+            q(X, Y) -> p(Y)
+            """
+        )
+        assert not is_weakly_acyclic(rules)
+
+    def test_regular_cycle_without_special_edge_is_fine(self):
+        rules = parse_program(
+            """
+            p(X) -> q(X)
+            q(X) -> p(X)
+            """
+        )
+        assert is_weakly_acyclic(rules)
+
+    def test_negation_is_ignored_by_the_check(self):
+        rules = parse_program("p(X), not q(X) -> exists Y. q(Y)")
+        # Σ⁺ drops the negative literal; the remaining special edge has no cycle.
+        assert is_weakly_acyclic(rules)
+
+    def test_ranks_on_acyclic_set(self):
+        rules = parse_program(
+            """
+            p(X) -> exists Y. q(X, Y)
+            q(X, Y) -> exists Z. r(Y, Z)
+            """
+        )
+        ranks = rank_of_positions(rules)
+        assert ranks[Position(Predicate("p", 1), 1)] == 0
+        assert ranks[Position(Predicate("q", 2), 2)] == 1
+        assert ranks[Position(Predicate("r", 2), 2)] == 2
+
+    def test_ranks_refuse_cyclic_sets(self):
+        rules = parse_program("e(X, Y) -> exists Z. e(Y, Z)")
+        with pytest.raises(ValueError):
+            rank_of_positions(rules)
+
+    def test_disjunctive_weak_acyclicity_example5(self):
+        # Example 5's ORIGINAL disjunctive set is weakly acyclic ...
+        rules = parse_disjunctive_program(
+            """
+            p(X) -> exists Y. s(X, Y)
+            r(X) -> p(X) | s(X, X)
+            """
+        )
+        assert is_weakly_acyclic_disjunctive(rules)
+
+
+class TestStickinessFigure1:
+    def test_figure1_sticky_set(self):
+        """The first rule set of Figure 1(a) is sticky."""
+        rules = parse_program(
+            """
+            t(X, Y, Z) -> exists W. s(Y, W)
+            r(X, Y), p(Y, Z) -> exists W. t(X, Y, W)
+            """
+        )
+        assert is_sticky(rules)
+
+    def test_figure1_non_sticky_set(self):
+        """The second rule set of Figure 1(a) is not sticky: the join variable Y is lost."""
+        rules = parse_program(
+            """
+            t(X, Y, Z) -> exists W. s(X, W)
+            r(X, Y), p(Y, Z) -> exists W. t(X, Y, W)
+            """
+        )
+        assert not is_sticky(rules)
+        witness = sticky_witness(rules)
+        assert witness is not None
+        rule_index, variable = witness
+        assert variable == Variable("Y")
+        assert rule_index == 1
+
+    def test_marking_base_step(self):
+        rules = parse_program("t(X, Y, Z) -> exists W. s(X, W)")
+        marking = compute_marking(rules)
+        # Y and Z do not occur in the head, so they are marked; X occurs in
+        # every head atom, so it is not.
+        assert marking.is_marked(0, Variable("Y"))
+        assert marking.is_marked(0, Variable("Z"))
+        assert not marking.is_marked(0, Variable("X"))
+
+    def test_cartesian_product_is_sticky(self):
+        """Sticky sets can express cartesian products (Section 4.2 discussion)."""
+        rules = parse_program("p(X), s(Y) -> t(X, Y)")
+        assert is_sticky(rules)
+
+    def test_negation_erased_before_check(self):
+        # The variable shared with the negated atom occurs in every head atom,
+        # so erasing the negation sign (Section 4.2) keeps the set sticky.
+        sticky_rules = parse_program("v(X), not w(X) -> s(X)")
+        assert is_sticky(sticky_rules)
+        # If the shared variable is lost from the head, the doubled occurrence
+        # of a marked variable violates stickiness.
+        broken_rules = parse_program("v(X, Y), not w(Y) -> s(X)")
+        assert not is_sticky(broken_rules)
+
+
+class TestGuardedness:
+    def test_guarded_set(self):
+        rules = parse_program(
+            """
+            p(X, Y) -> exists Z. p(Y, Z)
+            p(X, Y), not q(X) -> q(Y)
+            """
+        )
+        assert is_guarded(rules)
+
+    def test_unguarded_cartesian_product(self):
+        rules = parse_program("p(X), s(Y) -> t(X, Y)")
+        assert not is_guarded(rules)
+
+    def test_father_rules_third_rule_is_unguarded(self, father_rules):
+        report = guardedness_report(father_rules)
+        assert report[0] is not None
+        assert report[2] is None
+        assert not is_guarded(father_rules)
+
+    def test_guard_contains_all_body_variables(self):
+        rules = parse_program("p(X, Y), q(X) -> r(Y)")
+        guard = guard_of(rules[0])
+        assert guard is not None
+        assert guard.variables == {Variable("X"), Variable("Y")}

@@ -1,0 +1,159 @@
+"""Tests for the T_{Σ,I} operator (Lemma 7/8), witnesses (Def. 4) and τ (Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interpretation, parse_atom, parse_database, parse_program
+from repro.chase import stable_model_size_bound
+from repro.stable import (
+    Universe,
+    all_witnesses_positive,
+    circumscription_rules,
+    compute_witness,
+    compute_witnesses,
+    enumerate_stable_models,
+    immediate_consequences,
+    is_stable_model,
+    iterate_consequences,
+    least_fixpoint,
+    satisfies_lemma7,
+    star_schema,
+    tau_database,
+    tau_rules,
+    verify_subset_against_witnesses,
+    w_stability,
+)
+
+
+def interp(text: str) -> Interpretation:
+    return Interpretation(frozenset(parse_atom(token) for token in text.split()))
+
+
+class TestImmediateConsequences:
+    def test_only_atoms_of_the_interpretation_qualify(self):
+        rules = parse_program("s(X) -> exists Y. p(X, Y)")
+        database = parse_database("s(a).")
+        model = interp("s(a) p(a,b)")
+        produced = immediate_consequences(database.atoms, rules, model)
+        assert produced == {parse_atom("p(a,b)")}
+
+    def test_negative_literals_use_the_oracle(self):
+        rules = parse_program("s(X), not q(X) -> p(X)")
+        database = parse_database("s(a).")
+        blocked = interp("s(a) q(a) p(a)")
+        assert immediate_consequences(database.atoms, rules, blocked) == frozenset()
+        open_model = interp("s(a) p(a)")
+        assert immediate_consequences(database.atoms, rules, open_model) == {
+            parse_atom("p(a)")
+        }
+
+    def test_iteration_is_cumulative_and_monotone(self, father_rules, father_database):
+        model = interp("person(alice) hasFather(alice,bob) sameAs(bob,bob)")
+        stages = iterate_consequences(father_database, father_rules, model)
+        for earlier, later in zip(stages, stages[1:]):
+            assert earlier <= later
+        assert stages[-1] == model.positive
+
+
+class TestLemma7:
+    def test_every_stable_model_satisfies_lemma7(
+        self, father_rules, father_database, father_universe
+    ):
+        for model in enumerate_stable_models(
+            father_database, father_rules, universe=father_universe
+        ):
+            assert satisfies_lemma7(model, father_database, father_rules)
+
+    def test_converse_fails(self):
+        """The paper's counterexample after Lemma 7: the fixpoint equation is not sufficient."""
+        rules = parse_program("s(X) -> exists Y. p(X, Y)")
+        database = parse_database("s(a).")
+        candidate = interp("s(a) p(a,b) p(a,c)")
+        assert satisfies_lemma7(candidate, database, rules)
+        assert not is_stable_model(candidate, database, rules)
+
+    def test_fixpoint_size_respects_proposition9(
+        self, father_rules, father_database, father_universe
+    ):
+        bound = stable_model_size_bound(father_database, father_rules)
+        for model in enumerate_stable_models(
+            father_database, father_rules, universe=father_universe
+        ):
+            assert len(model) <= bound
+            assert len(least_fixpoint(father_database, father_rules, model)) <= bound
+
+
+class TestWitnesses:
+    def test_lemma10_equivalence(self, father_rules, father_database):
+        good = interp("person(alice) hasFather(alice,bob) sameAs(bob,bob)")
+        witnesses = compute_witnesses(father_rules, good)
+        assert all_witnesses_positive(witnesses)
+        bad = interp("person(alice)")
+        witnesses = compute_witnesses(father_rules, bad)
+        assert not all_witnesses_positive(witnesses)
+
+    def test_negative_witness_is_reported_per_rule(self, father_rules):
+        bad = interp("person(alice)")
+        witness = compute_witness(father_rules[0], bad)
+        assert witness.is_negative
+        assert len(witness) == 1
+
+    def test_witness_extensions_land_in_the_model(self, father_rules):
+        model = interp("person(alice) hasFather(alice,bob) sameAs(bob,bob)")
+        witness = compute_witness(father_rules[0], model)
+        assert witness.is_positive
+        entry = witness.entries[0]
+        assert entry.extension_dicts()
+
+    def test_w_stability_agrees_with_definition(
+        self, father_rules, father_database
+    ):
+        stable = interp("person(alice) hasFather(alice,bob) sameAs(bob,bob)")
+        assert w_stability(father_database, father_rules, stable)
+        unstable = interp(
+            "person(alice) hasFather(alice,bob) sameAs(bob,bob) sameAs(alice,alice)"
+        )
+        assert not w_stability(father_database, father_rules, unstable)
+
+    def test_verify_subset_against_witnesses(self, father_rules, father_database):
+        model = interp(
+            "person(alice) hasFather(alice,bob) sameAs(bob,bob) sameAs(alice,alice)"
+        )
+        witnesses = compute_witnesses(father_rules, model)
+        smaller = frozenset(
+            parse_atom(a)
+            for a in ["person(alice)", "hasFather(alice,bob)", "sameAs(bob,bob)"]
+        )
+        assert verify_subset_against_witnesses(smaller, model, father_rules, witnesses)
+        broken = frozenset([parse_atom("person(alice)")])
+        assert not verify_subset_against_witnesses(broken, model, father_rules, witnesses)
+
+
+class TestTauTransformation:
+    def test_star_schema_round_trip(self, father_rules):
+        schema = star_schema(father_rules.schema)
+        for predicate in father_rules.schema:
+            starred = schema.star(predicate)
+            assert schema.unstar(starred) == predicate
+            assert starred.arity == predicate.arity
+
+    def test_tau_keeps_negative_literals_on_original_predicates(self, father_rules):
+        schema = star_schema(father_rules.schema)
+        transformed = tau_rules(father_rules, schema)
+        negative = [l for rule in transformed for l in rule.negative_body]
+        assert negative and all(not schema.is_starred(l.predicate) for l in negative)
+        positive = [l for rule in transformed for l in rule.positive_body]
+        assert all(schema.is_starred(l.predicate) for l in positive)
+
+    def test_circumscription_stars_everything(self, father_rules):
+        schema = star_schema(father_rules.schema)
+        transformed = circumscription_rules(father_rules, schema)
+        for rule in transformed:
+            for literal in rule.body:
+                assert schema.is_starred(literal.predicate)
+
+    def test_tau_database(self, father_database, father_rules):
+        schema = star_schema(father_rules.schema)
+        starred = tau_database(father_database, schema)
+        assert {atom.predicate.name for atom in starred} == {"person__star"}

@@ -1,0 +1,136 @@
+"""Tests for NDTGDs: direct semantics (Section 6) and the Lemma 13 translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interpretation, parse_atom, parse_database, parse_disjunctive_program, parse_query
+from repro.classes import is_weakly_acyclic, is_weakly_acyclic_disjunctive
+from repro.disjunction import (
+    disjunctive_certain_answer,
+    enumerate_disjunctive_stable_models,
+    is_disjunctive_stable_model,
+    translate_disjunctive,
+)
+from repro.stable import Universe, enumerate_stable_models
+
+
+def interp(text: str) -> Interpretation:
+    return Interpretation(frozenset(parse_atom(token) for token in text.split()))
+
+
+class TestDirectDisjunctiveSemantics:
+    def test_simple_choice(self):
+        rules = parse_disjunctive_program("r(X) -> p(X) | q(X)")
+        database = parse_database("r(a).")
+        models = list(enumerate_disjunctive_stable_models(database, rules, max_nulls=0))
+        rendered = {str(model) for model in models}
+        assert rendered == {"{p(a), r(a)}", "{q(a), r(a)}"}
+
+    def test_minimality_excludes_both_disjuncts(self):
+        rules = parse_disjunctive_program("r(X) -> p(X) | q(X)")
+        database = parse_database("r(a).")
+        assert is_disjunctive_stable_model(interp("r(a) p(a)"), database, rules)
+        assert not is_disjunctive_stable_model(interp("r(a) p(a) q(a)"), database, rules)
+
+    def test_existential_disjunct(self):
+        rules = parse_disjunctive_program("r(X) -> exists Y. s(X, Y) | p(X)")
+        database = parse_database("r(a).")
+        models = list(enumerate_disjunctive_stable_models(database, rules, max_nulls=1))
+        predicates = {frozenset(a.predicate.name for a in m) for m in models}
+        assert frozenset({"r", "p"}) in predicates
+        assert frozenset({"r", "s"}) in predicates
+
+    def test_negation_interacts_with_disjunction(self):
+        rules = parse_disjunctive_program(
+            """
+            r(X) -> p(X) | q(X)
+            p(X), not blocked(X) -> marked(X)
+            """
+        )
+        database = parse_database("r(a).")
+        models = list(enumerate_disjunctive_stable_models(database, rules, max_nulls=0))
+        rendered = {str(model) for model in models}
+        assert "{marked(a), p(a), r(a)}" in rendered
+        assert "{q(a), r(a)}" in rendered
+
+    def test_certain_answer(self):
+        rules = parse_disjunctive_program("r(X) -> p(X) | q(X)")
+        database = parse_database("r(a).")
+        assert disjunctive_certain_answer(
+            database, rules, parse_query("? :- r(a)"), max_nulls=0
+        )
+        assert not disjunctive_certain_answer(
+            database, rules, parse_query("? :- p(a)"), max_nulls=0
+        )
+
+
+class TestLemma13Translation:
+    def _projected_models(self, database, rules, max_nulls):
+        translation = translate_disjunctive(database, rules)
+        models = enumerate_stable_models(
+            translation.database, translation.rules, max_nulls=max_nulls
+        )
+        return {
+            frozenset(str(a) for a in translation.project(model.positive))
+            for model in models
+        }
+
+    def _direct_models(self, database, rules, max_nulls):
+        return {
+            frozenset(str(a) for a in model)
+            for model in enumerate_disjunctive_stable_models(
+                database, rules, max_nulls=max_nulls
+            )
+        }
+
+    def test_example5_translation_is_not_weakly_acyclic(self):
+        rules = parse_disjunctive_program(
+            """
+            p(X) -> exists Y. s(X, Y)
+            r(X) -> p(X) | s(X, X)
+            """
+        )
+        assert is_weakly_acyclic_disjunctive(rules)
+        translation = translate_disjunctive(parse_database("r(a)."), rules)
+        # Example 5 / Section 6: the simulation introduces a harmless special-edge cycle.
+        assert not is_weakly_acyclic(translation.rules)
+
+    def test_translation_preserves_models_simple_choice(self):
+        rules = parse_disjunctive_program("r(X) -> p(X) | q(X)")
+        database = parse_database("r(a).")
+        assert self._projected_models(database, rules, 1) == self._direct_models(
+            database, rules, 0
+        )
+
+    def test_translation_preserves_models_with_negation(self):
+        rules = parse_disjunctive_program(
+            """
+            r(X) -> p(X) | q(X)
+            p(X), not blocked(X) -> marked(X)
+            """
+        )
+        database = parse_database("r(a).")
+        assert self._projected_models(database, rules, 1) == self._direct_models(
+            database, rules, 0
+        )
+
+    def test_translation_preserves_query_answers(self):
+        rules = parse_disjunctive_program("r(X) -> p(X) | q(X)")
+        database = parse_database("r(a). r(b).")
+        translation = translate_disjunctive(database, rules)
+        query = parse_query("? :- r(a)")
+        direct = disjunctive_certain_answer(database, rules, query, max_nulls=0)
+        from repro.stable import certain_answer
+
+        simulated = certain_answer(
+            translation.database, translation.rules, query, max_nulls=1
+        )
+        assert direct == simulated
+
+    def test_non_disjunctive_rules_pass_through(self):
+        rules = parse_disjunctive_program("r(X) -> p(X)")
+        database = parse_database("r(a).")
+        translation = translate_disjunctive(database, rules)
+        assert len(translation.rules) == 1
+        assert translation.database == database

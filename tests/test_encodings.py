@@ -1,0 +1,248 @@
+"""Tests for the application encodings: 2-QBF, CQA, certain colourability, gadgets, tiling."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Constant, parse_database, parse_query
+from repro.chase import restricted_chase
+from repro.classes import is_guarded, is_sticky, is_weakly_acyclic
+from repro.encodings import (
+    CertColInstance,
+    DenialConstraint,
+    LabelledEdge,
+    QbfLiteral,
+    TilingSystem,
+    TwoQbfExists,
+    can_tile_grid,
+    certkcol_to_qbf,
+    chain_database,
+    consistent_answers,
+    decide_exists_forall_sms,
+    denial_cqa_query,
+    grid_expected_size,
+    guarded_guess_rules,
+    has_unextendable_top_row,
+    is_consistent,
+    qbf_brave_query,
+    qbf_database,
+    qbf_rules,
+    sticky_grid_rules,
+    subset_repairs,
+)
+from repro.core.atoms import Predicate
+from repro.core.parser import parse_atom
+from repro.core.terms import Variable
+
+
+class TestQbfFormulaModel:
+    def test_matrix_evaluation(self):
+        formula = TwoQbfExists(
+            ("x",), ("y",), ((QbfLiteral("x"), QbfLiteral("y", False)),)
+        )
+        assert formula.matrix_value({"x": True, "y": False})
+        assert not formula.matrix_value({"x": True, "y": True})
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(ValueError):
+            TwoQbfExists(("x",), (), ((QbfLiteral("z"),),))
+
+    def test_brute_force_on_known_formulas(self):
+        satisfiable = TwoQbfExists(
+            ("x",),
+            ("y",),
+            ((QbfLiteral("x"), QbfLiteral("y")), (QbfLiteral("x"), QbfLiteral("y", False))),
+        )
+        unsatisfiable = TwoQbfExists(("x",), ("y",), ((QbfLiteral("x"), QbfLiteral("y")),))
+        assert satisfiable.is_satisfiable()
+        assert not unsatisfiable.is_satisfiable()
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["x", "y"]), st.booleans()),
+            min_size=1,
+            max_size=2,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tautological_terms(self, literals):
+        """A formula whose matrix contains the term (x) ∨ (¬x) is always satisfiable."""
+        terms = [(QbfLiteral("x"),), (QbfLiteral("x", False),)]
+        terms.append(tuple(QbfLiteral(v, s) for v, s in literals))
+        formula = TwoQbfExists(("x",), ("y",), tuple(terms))
+        assert formula.is_satisfiable()
+
+
+class TestQbfEncoding:
+    def test_database_shape(self):
+        formula = TwoQbfExists(("x",), ("y",), ((QbfLiteral("x"), QbfLiteral("y", False)),))
+        database = qbf_database(formula)
+        names = {atom.predicate.name for atom in database}
+        assert names == {"nil", "evar", "avar", "cl"}
+        cl_atom = next(a for a in database if a.predicate.name == "cl")
+        assert str(cl_atom) == "cl(x,star,star,star,y,star)"
+
+    def test_rules_are_weakly_acyclic_but_not_sticky_or_guarded_free(self):
+        rules = qbf_rules()
+        assert is_weakly_acyclic(rules)
+
+    def test_reduction_matches_brute_force_satisfiable(self):
+        formula = TwoQbfExists(
+            ("x",),
+            ("y",),
+            ((QbfLiteral("x"), QbfLiteral("y")), (QbfLiteral("x"), QbfLiteral("y", False))),
+        )
+        assert decide_exists_forall_sms(formula) == formula.is_satisfiable() == True
+
+    def test_reduction_matches_brute_force_unsatisfiable(self):
+        formula = TwoQbfExists(("x",), ("y",), ((QbfLiteral("x"), QbfLiteral("y")),))
+        assert decide_exists_forall_sms(formula) == formula.is_satisfiable() == False
+
+    def test_brave_query_object(self):
+        query = qbf_brave_query()
+        assert query.answer_predicate == Predicate("ans", 0)
+        formula = TwoQbfExists(("x",), (), ((QbfLiteral("x"),),))
+        database = qbf_database(formula)
+        assert query.holds(database, semantics="brave", max_nulls=0)
+
+
+class TestCqa:
+    def _constraint(self):
+        x = Variable("X")
+        manager = Predicate("manager", 1)
+        intern = Predicate("intern", 1)
+        return DenialConstraint((manager(x), intern(x)))
+
+    def test_consistency_check(self):
+        constraint = self._constraint()
+        assert is_consistent(parse_database("manager(ann). intern(bob)."), [constraint])
+        assert not is_consistent(parse_database("manager(ann). intern(ann)."), [constraint])
+
+    def test_subset_repairs(self):
+        constraint = self._constraint()
+        database = parse_database("manager(ann). intern(ann). intern(bob).")
+        repairs = subset_repairs(database, [constraint])
+        assert len(repairs) == 2
+        assert all(parse_atom("intern(bob)") in repair for repair in repairs)
+
+    def test_consistent_answers(self):
+        constraint = self._constraint()
+        database = parse_database("manager(ann). intern(ann). intern(bob).")
+        query = parse_query("?(X) :- intern(X)")
+        answers = consistent_answers(database, [constraint], query)
+        assert answers == {(Constant("bob"),)}
+
+    def test_declarative_encoding_matches_reference(self):
+        constraint = self._constraint()
+        database = parse_database("manager(ann). intern(ann). intern(bob).")
+        query = parse_query("?(X) :- intern(X)")
+        reference = consistent_answers(database, [constraint], query)
+        watgd, encoding = denial_cqa_query(
+            [constraint], query, schema=[Predicate("manager", 1), Predicate("intern", 1)]
+        )
+        encoded_db = encoding.encode_database(database)
+        assert watgd.cautious(encoded_db, max_nulls=0) == reference
+
+    def test_declarative_encoding_certain_fact(self):
+        constraint = self._constraint()
+        database = parse_database("manager(ann). manager(eve). intern(ann).")
+        query = parse_query("?(X) :- manager(X)")
+        reference = consistent_answers(database, [constraint], query)
+        watgd, encoding = denial_cqa_query(
+            [constraint], query, schema=[Predicate("manager", 1), Predicate("intern", 1)]
+        )
+        assert watgd.cautious(encoding.encode_database(database), max_nulls=0) == reference
+
+
+class TestCertainColourability:
+    def test_brute_force_triangle(self):
+        triangle = CertColInstance(
+            ("a", "b", "c"),
+            (LabelledEdge("a", "b"), LabelledEdge("b", "c"), LabelledEdge("a", "c")),
+            (),
+            colours=2,
+        )
+        assert not triangle.is_certainly_colourable()
+        assert CertColInstance(
+            ("a", "b", "c"),
+            (LabelledEdge("a", "b"), LabelledEdge("b", "c"), LabelledEdge("a", "c")),
+            (),
+            colours=3,
+        ).is_certainly_colourable()
+
+    def test_labelled_edges_quantify_over_assignments(self):
+        instance = CertColInstance(
+            ("a", "b"),
+            (LabelledEdge("a", "b", QbfLiteral("t")),),
+            ("t",),
+            colours=1,
+        )
+        # With one colour the edge must never be active, but the assignment
+        # t = true activates it.
+        assert not instance.is_certainly_colourable()
+
+    def test_qbf_reduction_agrees_with_brute_force(self):
+        cases = [
+            CertColInstance(("a", "b"), (LabelledEdge("a", "b", QbfLiteral("t")),), ("t",), 2),
+            CertColInstance(("a", "b"), (LabelledEdge("a", "b"),), (), 1),
+            CertColInstance(("a",), (), ("t",), 1),
+        ]
+        for instance in cases:
+            formula = certkcol_to_qbf(instance)
+            assert formula.is_valid() == instance.is_certainly_colourable()
+
+    def test_large_k_rejected_by_qbf_encoding(self):
+        instance = CertColInstance(("a", "b"), (LabelledEdge("a", "b"),), (), colours=4)
+        with pytest.raises(ValueError):
+            certkcol_to_qbf(instance)
+
+
+class TestUndecidabilityGadgets:
+    def test_class_memberships(self):
+        sticky_rules = sticky_grid_rules()
+        assert is_sticky(sticky_rules)
+        assert not is_weakly_acyclic(sticky_rules)
+        guarded_rules = guarded_guess_rules()
+        assert is_guarded(guarded_rules)
+        assert not is_weakly_acyclic(guarded_rules)
+
+    def test_grid_growth_is_quadratic(self):
+        product_only = sticky_grid_rules()
+        # Cut off the axes: keep only the cartesian product rule so the chase
+        # terminates, and check the quadratic growth of the derived grid.
+        from repro.core.rules import RuleSet
+
+        product_rule = RuleSet((product_only[4],))
+        for length in (2, 3, 4):
+            database = chain_database(length)
+            result = restricted_chase(database, product_rule)
+            cells = [a for a in result.atoms if a.predicate.name == "cell"]
+            assert len(cells) == grid_expected_size(length)
+
+
+class TestTiling:
+    def _system(self):
+        # Two tiles that must alternate horizontally and repeat vertically.
+        return TilingSystem(
+            ("w", "b"),
+            horizontal=frozenset({("w", "b"), ("b", "w")}),
+            vertical=frozenset({("w", "w"), ("b", "b")}),
+        )
+
+    def test_can_tile_grid(self):
+        system = self._system()
+        assert can_tile_grid(system, 3, 3)
+        assert can_tile_grid(system, 2, 2, top_row=("w", "b"))
+        assert not can_tile_grid(system, 2, 2, top_row=("w", "w"))
+
+    def test_extension_problem(self):
+        system = self._system()
+        # Every valid top row extends downwards, so no unextendable row exists.
+        assert not has_unextendable_top_row(system, 3, 3)
+        # Remove vertical compatibility: every valid top row is now stuck.
+        broken = TilingSystem(("w", "b"), frozenset({("w", "b"), ("b", "w")}), frozenset())
+        assert has_unextendable_top_row(broken, 2, 2)

@@ -1,0 +1,31 @@
+"""Smoke tests: the fast example scripts must run to completion.
+
+The slower, solver-heavy examples (``qbf_solving.py``, ``graph_coloring.py``)
+are exercised through the benchmark harness instead; here we only run the
+examples that finish in a couple of seconds so that the documentation stays
+executable.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "semantics_comparison.py",
+    "consistent_query_answering.py",
+    "family_ontology.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"

@@ -1,0 +1,107 @@
+"""Property-based tests over random workloads (generators + cross-semantics invariants)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, parse_database
+from repro.classes import is_weakly_acyclic
+from repro.core.atoms import Predicate
+from repro.generators import (
+    random_2qbf,
+    random_certcol_instance,
+    random_database,
+    random_weakly_acyclic_program,
+)
+from repro.lp import lp_stable_models, skolemize
+from repro.stable import Universe, enumerate_stable_models, is_stable_model, satisfies_lemma7
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestGenerators:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_random_programs_are_weakly_acyclic(self, seed):
+        program = random_weakly_acyclic_program(seed=seed)
+        assert is_weakly_acyclic(program)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_random_2qbf_is_well_formed(self, seed):
+        formula = random_2qbf(seed=seed)
+        assert formula.terms
+        # brute force always terminates and returns a boolean
+        assert formula.is_satisfiable() in (True, False)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_random_certcol_is_well_formed(self, seed):
+        instance = random_certcol_instance(seed=seed)
+        assert instance.is_certainly_colourable() in (True, False)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_random_database_respects_schema(self, seed):
+        predicates = [Predicate("p", 2), Predicate("q", 1)]
+        database = random_database(predicates, seed=seed)
+        assert database.predicates <= set(predicates)
+
+
+class TestCrossSemanticsInvariants:
+    """Invariants that must hold on every random weakly-acyclic instance."""
+
+    def _instance(self, seed: int):
+        program = random_weakly_acyclic_program(
+            layers=2, predicates_per_layer=2, seed=seed
+        )
+        base = sorted(program.extensional_predicates(), key=lambda p: p.name)
+        database = random_database(base or [Predicate("p0_0", 2)], constants=2, facts=3, seed=seed)
+        return program, database
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_every_enumerated_model_is_stable(self, seed):
+        program, database = self._instance(seed)
+        universe = Universe.for_database(database, max_nulls=1)
+        models = list(
+            enumerate_stable_models(database, program, universe=universe, max_states=200_000)
+        )
+        for model in models:
+            assert is_stable_model(model, database, program)
+            assert satisfies_lemma7(model, database, program)
+            assert set(database.atoms) <= model.positive
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_lp_models_embed_into_so_enumeration_after_skolemization(self, seed):
+        program, database = self._instance(seed)
+        skolemized = skolemize(program)
+        lp_models = lp_stable_models(database, program)
+        so_models = {
+            frozenset(str(a) for a in model.positive)
+            for model in enumerate_stable_models(
+                database,
+                skolemized.as_rule_set(),
+                universe=Universe.for_database(database, max_nulls=0),
+            )
+        }
+        assert {frozenset(str(a) for a in m) for m in lp_models} == so_models
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_stable_models_are_incomparable(self, seed):
+        """Stable models form an antichain under set inclusion."""
+        program, database = self._instance(seed)
+        models = [
+            model.positive
+            for model in enumerate_stable_models(
+                database, program, universe=Universe.for_database(database, max_nulls=1)
+            )
+        ]
+        for first in models:
+            for second in models:
+                if first != second:
+                    assert not first < second

@@ -1,0 +1,237 @@
+"""Tests for the LP approach: Skolemization, grounding, reduct, solver, WFS, EFWFS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Constant, parse_atom, parse_database, parse_program, parse_query
+from repro.core.terms import FunctionTerm, Variable
+from repro.errors import SolverLimitError
+from repro.lp import (
+    NormalProgram,
+    NormalRule,
+    efwfs_entails,
+    gelfond_lifschitz_reduct,
+    ground_program,
+    is_stable_model_lp,
+    least_model,
+    lp_stable_models,
+    positive_closure,
+    skolemize,
+    stable_models_ground,
+    well_founded_model,
+)
+
+
+class TestSkolemization:
+    def test_existential_becomes_function_term(self):
+        rules = parse_program("person(X) -> exists Y. hasFather(X, Y)")
+        program = skolemize(rules)
+        assert len(program) == 1
+        head = program[0].head
+        assert isinstance(head.terms[1], FunctionTerm)
+        assert head.terms[1].arguments == (Variable("X"),)
+
+    def test_conjunctive_head_is_split(self):
+        rules = parse_program("a(X) -> exists Y. p(X, Y), t(Y)")
+        program = skolemize(rules)
+        assert len(program) == 2
+        # Both rules must share the same Skolem term for Y.
+        first = program[0].head.terms[1]
+        second = program[1].head.terms[0]
+        assert first == second
+
+    def test_negative_literals_preserved(self):
+        rules = parse_program("p(X), not q(X) -> r(X)")
+        program = skolemize(rules)
+        assert program[0].negative_body == (parse_atom("q(X)"),)
+
+    def test_rule_without_existentials_is_unchanged(self):
+        rules = parse_program("p(X) -> q(X)")
+        program = skolemize(rules)
+        assert program[0].head == parse_atom("q(X)")
+
+
+class TestGrounding:
+    def test_positive_closure_with_skolem_terms(self):
+        rules = parse_program("person(X) -> exists Y. hasFather(X, Y)")
+        database = parse_database("person(alice).")
+        closure = positive_closure(skolemize(rules), database.atoms)
+        assert len(closure) == 2
+
+    def test_ground_program_contains_database_facts(self):
+        rules = parse_program("p(X) -> q(X)")
+        database = parse_database("p(a). p(b).")
+        grounded = ground_program(skolemize(rules), database)
+        assert parse_atom("p(a)") in grounded.facts()
+        assert len([r for r in grounded if not r.is_fact]) == 2
+
+    def test_budget_stops_divergent_grounding(self):
+        rules = parse_program("p(X) -> exists Y. p(Y)")
+        database = parse_database("p(a).")
+        with pytest.raises(SolverLimitError):
+            ground_program(skolemize(rules), database, max_atoms=50)
+
+    def test_irrelevant_rules_not_instantiated(self):
+        rules = parse_program(
+            """
+            p(X) -> q(X)
+            r(X) -> s(X)
+            """
+        )
+        database = parse_database("p(a).")
+        grounded = ground_program(skolemize(rules), database)
+        assert all("s(" not in str(rule) for rule in grounded)
+
+
+class TestReductAndLeastModel:
+    def test_least_model_of_definite_program(self):
+        program = NormalProgram(
+            (
+                NormalRule(parse_atom("p(a)")),
+                NormalRule(parse_atom("q(a)"), (parse_atom("p(a)"),)),
+            )
+        )
+        assert least_model(program) == {parse_atom("p(a)"), parse_atom("q(a)")}
+
+    def test_reduct_removes_blocked_rules(self):
+        program = NormalProgram(
+            (
+                NormalRule(parse_atom("p(a)")),
+                NormalRule(parse_atom("q(a)"), (), (parse_atom("p(a)"),)),
+            )
+        )
+        reduct = gelfond_lifschitz_reduct(program, {parse_atom("p(a)")})
+        assert len(reduct) == 1
+
+    def test_reduct_erases_surviving_negatives(self):
+        program = NormalProgram(
+            (NormalRule(parse_atom("q(a)"), (), (parse_atom("p(a)"),)),)
+        )
+        reduct = gelfond_lifschitz_reduct(program, set())
+        assert reduct[0].negative_body == ()
+
+    def test_least_model_rejects_negation(self):
+        program = NormalProgram(
+            (NormalRule(parse_atom("q(a)"), (), (parse_atom("p(a)"),)),)
+        )
+        with pytest.raises(ValueError):
+            least_model(program)
+
+
+class TestGroundStableModels:
+    def test_even_negation_two_models(self):
+        program = NormalProgram(
+            (
+                NormalRule(parse_atom("s(a)")),
+                NormalRule(parse_atom("p(a)"), (parse_atom("s(a)"),), (parse_atom("q(a)"),)),
+                NormalRule(parse_atom("q(a)"), (parse_atom("s(a)"),), (parse_atom("p(a)"),)),
+            )
+        )
+        models = list(stable_models_ground(program))
+        assert len(models) == 2
+
+    def test_odd_negation_no_model(self):
+        program = NormalProgram(
+            (NormalRule(parse_atom("p(a)"), (), (parse_atom("p(a)"),)),)
+        )
+        assert list(stable_models_ground(program)) == []
+
+    def test_is_stable_model_lp(self):
+        program = NormalProgram(
+            (
+                NormalRule(parse_atom("p(a)")),
+                NormalRule(parse_atom("q(a)"), (), (parse_atom("r(a)"),)),
+            )
+        )
+        assert is_stable_model_lp(program, {parse_atom("p(a)"), parse_atom("q(a)")})
+        assert not is_stable_model_lp(program, {parse_atom("p(a)")})
+
+
+class TestWellFoundedSemantics:
+    def test_total_wfs_on_stratified_program(self):
+        program = NormalProgram(
+            (
+                NormalRule(parse_atom("p(a)")),
+                NormalRule(parse_atom("q(a)"), (), (parse_atom("p(a)"),)),
+                NormalRule(parse_atom("r(a)"), (), (parse_atom("q(a)"),)),
+            )
+        )
+        model = well_founded_model(program)
+        assert model.is_total
+        assert model.value(parse_atom("p(a)")) == "true"
+        assert model.value(parse_atom("q(a)")) == "false"
+        assert model.value(parse_atom("r(a)")) == "true"
+
+    def test_undefined_atoms_on_even_cycle(self):
+        program = NormalProgram(
+            (
+                NormalRule(parse_atom("p(a)"), (), (parse_atom("q(a)"),)),
+                NormalRule(parse_atom("q(a)"), (), (parse_atom("p(a)"),)),
+            )
+        )
+        model = well_founded_model(program)
+        assert not model.is_total
+        assert model.value(parse_atom("p(a)")) == "undefined"
+
+    def test_non_ground_program_rejected(self):
+        program = skolemize(parse_program("p(X) -> q(X)"))
+        with pytest.raises(ValueError):
+            well_founded_model(program)
+
+
+class TestLpPipeline:
+    def test_father_example_unique_lp_model(self, father_rules, father_database):
+        """Section 1: the LP approach yields exactly one stable model for Example 1."""
+        models = lp_stable_models(father_database, father_rules)
+        assert len(models) == 1
+        model = models[0]
+        rendered = {str(atom) for atom in model}
+        assert "person(alice)" in rendered
+        assert any(name.startswith("hasFather(alice,sk_") for name in rendered)
+        assert all("abnormal" not in name for name in rendered)
+
+    def test_lp_entails_no_father_bob(self, father_rules, father_database):
+        """Example 2: the LP approach (wrongly) entails ¬hasFather(alice, bob)."""
+        models = lp_stable_models(father_database, father_rules)
+        query = parse_query("? :- not hasFather(alice, bob)")
+        assert all(query.holds_in(model) for model in models)
+
+    def test_section32_program_has_no_lp_stable_model(
+        self, section32_rules, section32_database
+    ):
+        assert lp_stable_models(section32_database, section32_rules) == []
+
+
+class TestEfwfs:
+    def test_example2_expected_answer(self, father_rules, father_database):
+        """EFWFS does NOT entail ¬hasFather(alice, bob) (the intended answer)."""
+        query = parse_query("? :- not hasFather(alice, bob)")
+        assert not efwfs_entails(
+            father_database,
+            father_rules,
+            query,
+            extra_constants=[Constant("bob")],
+            unify_constants=False,
+        )
+
+    def test_example3_unexpected_answer(self, father_rules, father_database):
+        """EFWFS does NOT entail ¬abnormal(alice) either (the paper's Example 3 anomaly)."""
+        query = parse_query("? :- not abnormal(alice)")
+        assert not efwfs_entails(
+            father_database,
+            father_rules,
+            query,
+            extra_constants=[Constant("bob"), Constant("john")],
+            unify_constants=False,
+        )
+
+    def test_positive_fact_entailed(self, father_rules, father_database):
+        query = parse_query("? :- person(alice)")
+        assert efwfs_entails(
+            father_database,
+            father_rules,
+            query,
+            extra_constants=[Constant("bob")],
+            unify_constants=False,
+        )

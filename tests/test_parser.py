@@ -1,0 +1,164 @@
+"""Tests for the concrete syntax (parser round-trips and error handling)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (
+    Constant,
+    Null,
+    ParseError,
+    Variable,
+    parse_atom,
+    parse_database,
+    parse_disjunctive_rule,
+    parse_literal,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_term,
+)
+from repro.errors import SafetyError
+
+
+class TestTerms:
+    def test_lowercase_is_constant(self):
+        assert parse_term("alice") == Constant("alice")
+
+    def test_number_is_constant(self):
+        assert parse_term("42") == Constant("42")
+
+    def test_quoted_string_is_constant(self):
+        assert parse_term('"New York"') == Constant("New York")
+
+    def test_uppercase_is_variable(self):
+        assert parse_term("Xyz") == Variable("Xyz")
+
+    def test_null_syntax(self):
+        assert parse_term("_:n0") == Null("n0")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("@!")
+
+
+class TestAtomsAndLiterals:
+    def test_atom_with_terms(self):
+        atom = parse_atom("p(X, alice)")
+        assert atom.predicate.name == "p"
+        assert atom.predicate.arity == 2
+        assert atom.terms == (Variable("X"), Constant("alice"))
+
+    def test_propositional_atom(self):
+        atom = parse_atom("saturate")
+        assert atom.predicate.arity == 0
+
+    def test_trailing_dot_tolerated(self):
+        assert parse_atom("p(a).").is_ground
+
+    def test_negative_literal(self):
+        literal = parse_literal("not p(X, Y)")
+        assert not literal.positive
+
+    def test_positive_literal(self):
+        assert parse_literal("p(X, Y)").positive
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(a")
+
+
+class TestRules:
+    def test_simple_tgd(self):
+        rule = parse_rule("person(X) -> exists Y. hasFather(X, Y)")
+        assert rule.is_positive
+        assert rule.existential_variables == {Variable("Y")}
+
+    def test_negation_in_body(self):
+        rule = parse_rule("p(X), not q(X) -> r(X)")
+        assert len(rule.negative_body) == 1
+
+    def test_bodyless_rule(self):
+        rule = parse_rule("-> exists X. zero(X)")
+        assert rule.body == ()
+
+    def test_multi_atom_head(self):
+        rule = parse_rule("a(X) -> exists Y. p(X, Y), t(Y)")
+        assert len(rule.head) == 2
+
+    def test_disjunctive_head_rejected_by_parse_rule(self):
+        with pytest.raises(ParseError):
+            parse_rule("r(X) -> p(X) | s(X, X)")
+
+    def test_disjunctive_rule(self):
+        rule = parse_disjunctive_rule("r(X) -> p(X) | s(X, X)")
+        assert rule.is_disjunctive
+        assert len(rule.disjuncts) == 2
+
+    def test_unsafe_rule_raises_safety_error(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X), not q(Y) -> r(X)")
+
+    def test_rule_roundtrip_through_str(self):
+        rule = parse_rule("p(X), not q(X) -> exists Y. r(X, Y)")
+        assert parse_rule(str(rule)) == rule
+
+
+class TestProgramsAndDatabases:
+    def test_program_with_comments_and_blank_lines(self):
+        program = parse_program(
+            """
+            % a comment
+            p(X) -> q(X)
+
+            # another comment
+            q(X), not r(X) -> s(X)
+            """
+        )
+        assert len(program) == 2
+
+    def test_database_parsing(self):
+        database = parse_database("p(a). q(a, b).\nr(c).")
+        assert len(database) == 3
+        assert Constant("c") in database.constants
+
+    def test_database_rejects_variables(self):
+        with pytest.raises(Exception):
+            parse_database("p(X).")
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+
+class TestQueries:
+    def test_boolean_query(self):
+        query = parse_query("? :- person(X), not abnormal(X)")
+        assert query.is_boolean
+        assert len(query.literals) == 2
+
+    def test_query_with_answer_variables(self):
+        query = parse_query("?(X) :- person(X), not abnormal(X)")
+        assert query.arity == 1
+
+    def test_ground_negative_query(self):
+        query = parse_query("? :- not hasFather(alice, bob)")
+        assert query.is_boolean and not query.is_positive
+
+    def test_non_variable_answer_position_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("?(a) :- person(a)")
+
+
+@given(
+    st.lists(
+        st.sampled_from(["p(X) -> q(X)", "q(X), not r(X) -> s(X)", "-> exists Y. t(Y)"]),
+        min_size=0,
+        max_size=6,
+    )
+)
+def test_parse_program_line_count(lines):
+    """Parsing N rule lines yields exactly N rules."""
+    program = parse_program("\n".join(lines))
+    assert len(program) == len(lines)

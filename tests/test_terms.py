@@ -1,0 +1,118 @@
+"""Unit tests for terms: constants, nulls, variables, function terms."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.terms import (
+    Constant,
+    FunctionTerm,
+    Null,
+    NullFactory,
+    Variable,
+    is_ground_term,
+    term_sort_key,
+)
+
+identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_", min_size=1, max_size=8
+)
+
+
+class TestConstruction:
+    def test_constant_equality_by_name(self):
+        assert Constant("alice") == Constant("alice")
+        assert Constant("alice") != Constant("bob")
+
+    def test_null_equality_by_label(self):
+        assert Null("n1") == Null("n1")
+        assert Null("n1") != Null("n2")
+
+    def test_variable_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_disjoint_kinds_never_equal(self):
+        assert Constant("x") != Variable("x")
+        assert Constant("x") != Null("x")
+        assert Null("x") != Variable("x")
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            Constant("")
+        with pytest.raises(ValueError):
+            Null("")
+        with pytest.raises(ValueError):
+            Variable("")
+        with pytest.raises(ValueError):
+            FunctionTerm("", (Constant("a"),))
+
+    def test_terms_are_hashable(self):
+        pool = {Constant("a"), Null("a"), Variable("A"), FunctionTerm("f", (Constant("a"),))}
+        assert len(pool) == 4
+
+
+class TestFunctionTerms:
+    def test_depth_of_flat_term(self):
+        term = FunctionTerm("f", (Constant("a"), Constant("b")))
+        assert term.depth == 1
+
+    def test_depth_of_nested_term(self):
+        inner = FunctionTerm("f", (Constant("a"),))
+        outer = FunctionTerm("g", (inner, Constant("b")))
+        assert outer.depth == 2
+
+    def test_str_rendering(self):
+        term = FunctionTerm("f", (Constant("a"), Null("n")))
+        assert str(term) == "f(a,_:n)"
+
+    def test_groundness(self):
+        assert is_ground_term(FunctionTerm("f", (Constant("a"),)))
+        assert not is_ground_term(FunctionTerm("f", (Variable("X"),)))
+
+
+class TestGroundness:
+    def test_constant_and_null_are_ground(self):
+        assert is_ground_term(Constant("a"))
+        assert is_ground_term(Null("n"))
+
+    def test_variable_is_not_ground(self):
+        assert not is_ground_term(Variable("X"))
+
+
+class TestSortKey:
+    def test_kind_ordering(self):
+        keys = [
+            term_sort_key(Constant("z")),
+            term_sort_key(Null("a")),
+            term_sort_key(FunctionTerm("f", (Constant("a"),))),
+            term_sort_key(Variable("A")),
+        ]
+        assert keys == sorted(keys)
+
+    @given(identifiers, identifiers)
+    def test_sort_key_total_on_constants(self, left, right):
+        first, second = Constant(left), Constant(right)
+        assert (term_sort_key(first) == term_sort_key(second)) == (first == second)
+
+
+class TestNullFactory:
+    def test_fresh_nulls_are_distinct(self):
+        factory = NullFactory()
+        produced = factory.fresh_many(50)
+        assert len(set(produced)) == 50
+
+    def test_reserved_labels_are_avoided(self):
+        factory = NullFactory(prefix="n", reserved=["n0", "n1"])
+        assert factory.fresh() == Null("n2")
+
+    def test_reserve_after_construction(self):
+        factory = NullFactory(prefix="m")
+        factory.reserve(["m0"])
+        assert factory.fresh() == Null("m1")
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_fresh_many_count(self, count):
+        assert len(NullFactory().fresh_many(count)) == count
