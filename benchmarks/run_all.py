@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Run every ``bench_*.py`` and aggregate the timings into BENCH_results.json.
+
+Each benchmark module is executed in its own pytest process (so one broken
+benchmark cannot take the others down) with ``--benchmark-json`` output; the
+per-test means/stddevs are collected into a single JSON document:
+
+    {
+      "meta": {"python": "...", "timestamp": "...", "argv": [...]},
+      "modules": {
+        "bench_chase": {
+          "status": "ok",
+          "benchmarks": {
+            "test_restricted_chase_scaling[16]": {"mean_s": ..., "stddev_s": ..., "rounds": ...},
+            ...
+          }
+        },
+        ...
+      }
+    }
+
+Future PRs run this before/after a change to get a perf trajectory:
+
+    python benchmarks/run_all.py            # full statistics
+    python benchmarks/run_all.py --quick    # one round per benchmark (CI smoke)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+OUTPUT = REPO_ROOT / "BENCH_results.json"
+
+
+def run_module(module: Path, quick: bool) -> dict:
+    """Run one benchmark module, returning its aggregated result entry."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = Path(handle.name)
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(module),
+        "-q",
+        "--benchmark-json",
+        str(json_path),
+    ]
+    if quick:
+        command += ["--benchmark-min-rounds", "1", "--benchmark-warmup", "off"]
+    environment = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    environment["PYTHONPATH"] = (
+        src + ":" + environment["PYTHONPATH"] if environment.get("PYTHONPATH") else src
+    )
+    process = subprocess.run(
+        command, cwd=REPO_ROOT, env=environment,
+        capture_output=True, text=True, timeout=1800,
+    )
+    entry: dict = {"status": "ok" if process.returncode == 0 else "failed"}
+    if process.returncode != 0:
+        combined = process.stdout.splitlines()[-15:] + process.stderr.splitlines()[-15:]
+        entry["tail"] = "\n".join(combined)
+    try:
+        report = json.loads(json_path.read_text())
+        entry["benchmarks"] = {
+            bench["name"]: {
+                "mean_s": bench["stats"]["mean"],
+                "stddev_s": bench["stats"]["stddev"],
+                "rounds": bench["stats"]["rounds"],
+            }
+            for bench in report.get("benchmarks", [])
+        }
+    except (OSError, json.JSONDecodeError, KeyError):
+        entry.setdefault("benchmarks", {})
+    finally:
+        json_path.unlink(missing_ok=True)
+    return entry
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="one round per benchmark (fast smoke run, e.g. in CI)",
+    )
+    parser.add_argument(
+        "--only", metavar="SUBSTRING", default=None,
+        help="run only modules whose name contains SUBSTRING",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT,
+        help=f"result file (default: {OUTPUT})",
+    )
+    arguments = parser.parse_args()
+
+    modules = sorted(BENCH_DIR.glob("bench_*.py"))
+    if arguments.only:
+        modules = [m for m in modules if arguments.only in m.name]
+    if not modules:
+        print("no benchmark modules matched", file=sys.stderr)
+        return 2
+
+    results: dict = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "quick": arguments.quick,
+        },
+        "modules": {},
+    }
+    failures = 0
+    for module in modules:
+        name = module.stem
+        print(f"[run_all] {name} ...", flush=True)
+        entry = run_module(module, arguments.quick)
+        results["modules"][name] = entry
+        if entry["status"] != "ok":
+            failures += 1
+            print(f"[run_all]   FAILED ({name})", file=sys.stderr)
+        else:
+            count = len(entry["benchmarks"])
+            print(f"[run_all]   ok — {count} benchmark(s)")
+
+    arguments.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"[run_all] wrote {arguments.output} ({len(modules)} modules, {failures} failed)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

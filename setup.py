@@ -1,4 +1,6 @@
-"""Setup shim so the package can be installed where `wheel` is unavailable."""
+"""Legacy shim: lets ``pip install -e . --no-use-pep517`` work where the
+``wheel`` package (required for PEP 660 editable installs) is unavailable.
+All package metadata lives in ``pyproject.toml``."""
 from setuptools import setup
 
 setup()

@@ -66,6 +66,13 @@ from .core import (
     parse_rule,
     parse_term,
 )
+from .engine import (
+    EngineStatistics,
+    MemoryBackend,
+    RelationIndex,
+    SQLiteBackend,
+    fixpoint,
+)
 from .errors import (
     ArityError,
     GroundingError,
@@ -98,19 +105,23 @@ __all__ = [
     "ConjunctiveQuery",
     "Database",
     "DisjunctiveRuleSet",
+    "EngineStatistics",
     "FunctionTerm",
     "GroundingError",
     "InconsistentProgramError",
     "Interpretation",
     "Literal",
+    "MemoryBackend",
     "NDTGD",
     "NTGD",
     "Null",
     "NullFactory",
     "ParseError",
     "Predicate",
+    "RelationIndex",
     "ReproError",
     "RuleSet",
+    "SQLiteBackend",
     "SafetyError",
     "SolverLimitError",
     "StableModelEngine",
@@ -122,6 +133,7 @@ __all__ = [
     "cautious_answers",
     "certain_answer",
     "enumerate_stable_models",
+    "fixpoint",
     "is_stable_model",
     "parse_atom",
     "parse_database",

@@ -11,6 +11,14 @@ variants are provided:
 * the **oblivious** chase, which fires every trigger exactly once regardless
   of satisfaction — coarser, but useful as an over-approximation.
 
+Both variants run on the shared semi-naive engine
+(:mod:`repro.engine`): trigger discovery is *delta-driven* — after the first
+round, only rule bodies that overlap the atoms added in the previous round
+are re-matched (each body literal in turn plays the delta role, joined
+against the full :class:`~repro.engine.index.RelationIndex` through the
+planner's compiled join order), so the chase never rescans old assignments.
+Engine counters are surfaced on :class:`ChaseResult.statistics`.
+
 Termination is guaranteed for weakly-acyclic rule sets; for other sets the
 caller must supply a step budget (``max_steps``) and the chase raises
 :class:`~repro.errors.SolverLimitError` when the budget is exhausted.
@@ -19,16 +27,23 @@ caller must supply a step budget (``max_steps``) and the chase raises
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..classes.position_graph import is_weakly_acyclic
 from ..core.atoms import Atom, apply_substitution
 from ..core.database import Database
-from ..core.homomorphism import AtomIndex, extend_homomorphisms, ground_matches
+from ..core.homomorphism import extend_homomorphisms
 from ..core.interpretation import Interpretation
 from ..core.rules import NTGD, RuleSet
-from ..core.terms import NullFactory, Variable
-from ..errors import SolverLimitError, UnsupportedClassError
+from ..core.terms import NullFactory
+from ..engine import (
+    CompiledRule,
+    EngineStatistics,
+    RelationIndex,
+    compile_rule,
+    enumerate_matches,
+)
+from ..errors import UnsupportedClassError
 
 __all__ = ["ChaseResult", "ChaseStep", "restricted_chase", "oblivious_chase"]
 
@@ -56,11 +71,17 @@ class ChaseResult:
         ``True`` if a fixpoint was reached, ``False`` if the run stopped
         because the step budget was exhausted (only possible when the caller
         opted into running a non-terminating chase with a budget).
+    statistics:
+        Engine counters for the run (triggers fired, tuples derived and
+        scanned, hash indexes built, semi-naive rounds).
     """
 
     atoms: frozenset[Atom]
     steps: tuple[ChaseStep, ...] = field(default_factory=tuple)
     terminated: bool = True
+    statistics: EngineStatistics = field(
+        default_factory=EngineStatistics, compare=False
+    )
 
     def interpretation(self) -> Interpretation:
         return Interpretation(self.atoms)
@@ -88,16 +109,77 @@ def _prepare(rules: RuleSet | Sequence[NTGD]) -> RuleSet:
     return rule_set
 
 
+@dataclass(frozen=True)
+class _PreparedRule:
+    """Per-rule data computed once per chase run (not per trigger)."""
+
+    existentials: tuple
+    head: tuple[Atom, ...]
+
+    @staticmethod
+    def of(rule: NTGD) -> "_PreparedRule":
+        return _PreparedRule(
+            tuple(sorted(rule.existential_variables, key=lambda v: v.name)),
+            tuple(rule.head),
+        )
+
+
 def _fire(
-    rule: NTGD,
+    prepared: _PreparedRule,
     assignment: dict,
     nulls: NullFactory,
-) -> tuple[dict, tuple[Atom, ...]]:
+) -> tuple[Atom, ...]:
     extended = dict(assignment)
-    for variable in sorted(rule.existential_variables, key=lambda v: v.name):
+    for variable in prepared.existentials:
         extended[variable] = nulls.fresh()
-    added = tuple(apply_substitution(atom, extended) for atom in rule.head)
-    return extended, added
+    return tuple(apply_substitution(atom, extended) for atom in prepared.head)
+
+
+def _check_guarantee(
+    rule_set: RuleSet, require_termination_guarantee: bool, max_steps: Optional[int]
+) -> None:
+    if require_termination_guarantee and max_steps is None:
+        if not is_weakly_acyclic(rule_set):
+            raise UnsupportedClassError(
+                "rule set is not weakly acyclic; pass max_steps to chase anyway"
+            )
+
+
+def _round_matches(
+    rule_set: RuleSet,
+    compiled: Sequence[CompiledRule],
+    index: RelationIndex,
+    delta: Optional[Sequence[Atom]],
+    statistics: EngineStatistics,
+) -> list[tuple[int, NTGD, dict]]:
+    """All candidate triggers of one chase round, materialised.
+
+    In the first round (``delta is None``) every rule is matched in full; in
+    later rounds each positive body literal in turn is restricted to the
+    previous round's delta.  Matches are collected *before* any firing so the
+    index is never mutated under a live join iterator.  Duplicate assignments
+    (a body overlapping the delta in two literals) are harmless: the
+    restricted chase re-checks head satisfaction at fire time and the
+    oblivious chase deduplicates by trigger key.
+    """
+    found: list[tuple[int, NTGD, dict]] = []
+    for position, (rule, compiled_rule) in enumerate(zip(rule_set, compiled)):
+        if delta is None:
+            for assignment in enumerate_matches(
+                compiled_rule, index, statistics=statistics
+            ):
+                found.append((position, rule, assignment))
+        else:
+            for literal_position in range(len(compiled_rule.positive)):
+                for assignment in enumerate_matches(
+                    compiled_rule,
+                    index,
+                    delta=delta,
+                    delta_position=literal_position,
+                    statistics=statistics,
+                ):
+                    found.append((position, rule, assignment))
+    return found
 
 
 def restricted_chase(
@@ -122,43 +204,50 @@ def restricted_chase(
         launching a non-terminating chase.
     """
     rule_set = _prepare(rules)
-    if require_termination_guarantee and max_steps is None:
-        if not is_weakly_acyclic(rule_set):
-            raise UnsupportedClassError(
-                "rule set is not weakly acyclic; pass max_steps to chase anyway"
-            )
-    atoms: set[Atom] = set(database.atoms)
-    index = AtomIndex(atoms)
+    _check_guarantee(rule_set, require_termination_guarantee, max_steps)
+    statistics = EngineStatistics()
+    index = RelationIndex(database.atoms, statistics=statistics)
+    compiled = [compile_rule(rule, statistics=statistics) for rule in rule_set]
+    prepared = {position: _PreparedRule.of(rule) for position, rule in enumerate(rule_set)}
     nulls = NullFactory(prefix="n")
     steps: list[ChaseStep] = []
-    fired: set[tuple[int, tuple]] = set()
-    rule_ids = {id(rule): position for position, rule in enumerate(rule_set)}
 
-    progress = True
-    while progress:
-        progress = False
-        for rule in rule_set:
-            for match in list(ground_matches(rule.body, index)):
-                assignment = match.as_dict()
-                satisfied = next(
-                    extend_homomorphisms(list(rule.head), index, partial=assignment),
-                    None,
+    delta: Optional[Sequence[Atom]] = None  # None = first (full) round
+    while True:
+        if delta is not None and not delta:
+            break
+        new_tick = index.tick()
+        statistics.iterations += 1
+        for rule_position, rule, assignment in _round_matches(
+            rule_set, compiled, index, delta, statistics
+        ):
+            prep = prepared[rule_position]
+            satisfied = next(
+                extend_homomorphisms(prep.head, index, partial=assignment),
+                None,
+            )
+            if satisfied is not None:
+                continue
+            if max_steps is not None and len(steps) >= max_steps:
+                return ChaseResult(
+                    index.atoms(), tuple(steps), terminated=False,
+                    statistics=statistics,
                 )
-                if satisfied is not None:
-                    continue
-                if max_steps is not None and len(steps) >= max_steps:
-                    return ChaseResult(frozenset(atoms), tuple(steps), terminated=False)
-                extended, added = _fire(rule, assignment, nulls)
-                new_atoms = tuple(atom for atom in added if atom not in atoms)
-                atoms.update(added)
-                index.update(added)
-                steps.append(
-                    ChaseStep(rule, tuple(sorted(assignment.items(), key=lambda kv: str(kv[0]))), added)
+            added = _fire(prep, assignment, nulls)
+            index.update(added)
+            statistics.triggers_fired += 1
+            steps.append(
+                ChaseStep(
+                    rule,
+                    tuple(sorted(assignment.items(), key=lambda kv: str(kv[0]))),
+                    added,
                 )
-                fired.add((rule_ids[id(rule)], match.assignment))
-                if new_atoms:
-                    progress = True
-    return ChaseResult(frozenset(atoms), tuple(steps), terminated=True)
+            )
+        delta = list(index.added_since(new_tick))
+        index.compact(index.tick())  # delta is materialised; free the log
+    return ChaseResult(
+        index.atoms(), tuple(steps), terminated=True, statistics=statistics
+    )
 
 
 def oblivious_chase(
@@ -174,34 +263,42 @@ def oblivious_chase(
     homomorphism) of the restricted chase result.
     """
     rule_set = _prepare(rules)
-    if require_termination_guarantee and max_steps is None:
-        if not is_weakly_acyclic(rule_set):
-            raise UnsupportedClassError(
-                "rule set is not weakly acyclic; pass max_steps to chase anyway"
-            )
-    atoms: set[Atom] = set(database.atoms)
-    index = AtomIndex(atoms)
+    _check_guarantee(rule_set, require_termination_guarantee, max_steps)
+    statistics = EngineStatistics()
+    index = RelationIndex(database.atoms, statistics=statistics)
+    compiled = [compile_rule(rule, statistics=statistics) for rule in rule_set]
+    prepared = {position: _PreparedRule.of(rule) for position, rule in enumerate(rule_set)}
     nulls = NullFactory(prefix="o")
     steps: list[ChaseStep] = []
     fired: set[tuple[int, tuple]] = set()
 
-    progress = True
-    while progress:
-        progress = False
-        for rule_position, rule in enumerate(rule_set):
-            for match in list(ground_matches(rule.body, index)):
-                key = (rule_position, match.assignment)
-                if key in fired:
-                    continue
-                if max_steps is not None and len(steps) >= max_steps:
-                    return ChaseResult(frozenset(atoms), tuple(steps), terminated=False)
-                assignment = match.as_dict()
-                extended, added = _fire(rule, assignment, nulls)
-                atoms.update(added)
-                index.update(added)
-                fired.add(key)
-                steps.append(
-                    ChaseStep(rule, tuple(sorted(assignment.items(), key=lambda kv: str(kv[0]))), added)
+    delta: Optional[Sequence[Atom]] = None  # None = first (full) round
+    while True:
+        if delta is not None and not delta:
+            break
+        new_tick = index.tick()
+        statistics.iterations += 1
+        for rule_position, rule, assignment in _round_matches(
+            rule_set, compiled, index, delta, statistics
+        ):
+            key = (
+                rule_position,
+                tuple(sorted(assignment.items(), key=lambda kv: str(kv[0]))),
+            )
+            if key in fired:
+                continue
+            if max_steps is not None and len(steps) >= max_steps:
+                return ChaseResult(
+                    index.atoms(), tuple(steps), terminated=False,
+                    statistics=statistics,
                 )
-                progress = True
-    return ChaseResult(frozenset(atoms), tuple(steps), terminated=True)
+            added = _fire(prepared[rule_position], assignment, nulls)
+            index.update(added)
+            fired.add(key)
+            statistics.triggers_fired += 1
+            steps.append(ChaseStep(rule, key[1], added))
+        delta = list(index.added_since(new_tick))
+        index.compact(index.tick())  # delta is materialised; free the log
+    return ChaseResult(
+        index.atoms(), tuple(steps), terminated=True, statistics=statistics
+    )

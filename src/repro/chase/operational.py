@@ -28,10 +28,11 @@ from typing import Iterator, Optional, Sequence
 from ..classes.position_graph import is_weakly_acyclic
 from ..core.atoms import Atom, apply_substitution
 from ..core.database import Database
-from ..core.homomorphism import AtomIndex, extend_homomorphisms, ground_matches
+from ..core.homomorphism import AtomIndex, extend_homomorphisms
 from ..core.interpretation import Interpretation
 from ..core.rules import NTGD, RuleSet
-from ..core.terms import Null, Variable
+from ..core.terms import Null
+from ..engine import compile_rule, enumerate_matches
 from ..errors import SolverLimitError, UnsupportedClassError
 
 __all__ = ["operational_stable_models", "is_operational_stable_model"]
@@ -61,16 +62,24 @@ def _canonical(atoms: frozenset[Atom]) -> str:
 def _active_triggers(
     rules: RuleSet, atoms: set[Atom], index: AtomIndex
 ) -> list[tuple[NTGD, dict, tuple[Atom, ...]]]:
-    """Triggers that are applicable, not blocked (w.r.t. the current set), and unsatisfied."""
+    """Triggers that are applicable, not blocked (w.r.t. the current set), and unsatisfied.
+
+    Bodies are matched through the engine's compiled join plans (negative
+    literals checked for absence against the current set), so each search
+    state pays an index nested-loop join rather than a full rescan.
+    """
     found: list[tuple[NTGD, dict, tuple[Atom, ...]]] = []
     for rule in rules:
-        for match in ground_matches(rule.body, index):
-            assignment = match.as_dict()
+        compiled = compile_rule(rule)
+        for assignment in enumerate_matches(compiled, index):
             if next(
                 extend_homomorphisms(list(rule.head), index, partial=assignment), None
             ) is not None:
                 continue
-            found.append((rule, assignment, match.negative))
+            negative = tuple(
+                apply_substitution(atom, assignment) for atom in compiled.negative
+            )
+            found.append((rule, assignment, negative))
     return found
 
 
@@ -95,8 +104,7 @@ def is_operational_stable_model(
     rule_set = _as_rule_set(rules)
     index = AtomIndex(atoms)
     for rule in rule_set:
-        for match in ground_matches(rule.body, index):
-            assignment = match.as_dict()
+        for assignment in enumerate_matches(compile_rule(rule), index):
             if next(
                 extend_homomorphisms(list(rule.head), index, partial=assignment), None
             ) is None:

@@ -18,6 +18,7 @@ conjunction).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -162,14 +163,25 @@ def build_position_graph(rules: RuleSet | Sequence[NTGD]) -> PositionGraph:
     return PositionGraph(frozenset(positions), frozenset(edges))
 
 
+#: Memo of weak-acyclicity verdicts per RuleSet instance.  The check is a
+#: pure function of the (immutable) rule set but costs a position-graph
+#: construction; the chase and the solvers re-check the same set on every run.
+_weak_acyclicity_cache: "weakref.WeakKeyDictionary[RuleSet, bool]" = weakref.WeakKeyDictionary()
+
+
 def is_weakly_acyclic(rules: RuleSet | Sequence[NTGD]) -> bool:
     """``True`` iff the NTGD set is weakly acyclic (class WATGD¬).
 
-    The test is performed on Σ⁺ as prescribed by the paper.
+    The test is performed on Σ⁺ as prescribed by the paper.  Verdicts are
+    memoised per :class:`RuleSet` object (rule sets are immutable).
     """
     rule_set = rules if isinstance(rules, RuleSet) else RuleSet(tuple(rules))
-    graph = build_position_graph(rule_set.strip_negation())
-    return not graph.has_special_cycle()
+    cached = _weak_acyclicity_cache.get(rule_set)
+    if cached is None:
+        graph = build_position_graph(rule_set.strip_negation())
+        cached = not graph.has_special_cycle()
+        _weak_acyclicity_cache[rule_set] = cached
+    return cached
 
 
 def is_weakly_acyclic_disjunctive(rules: DisjunctiveRuleSet | Sequence[NDTGD]) -> bool:

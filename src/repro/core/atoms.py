@@ -8,7 +8,7 @@ negation is *default* negation interpreted under the stable model semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from .terms import (
@@ -50,10 +50,15 @@ class Predicate:
 
 @dataclass(frozen=True, slots=True)
 class Atom:
-    """An atomic formula ``p(t1, ..., tn)``."""
+    """An atomic formula ``p(t1, ..., tn)``.
+
+    Atoms are hashed constantly by the evaluation engine (set membership,
+    hash-index keys), so the hash is computed once at construction and cached.
+    """
 
     predicate: Predicate
     terms: tuple[Term, ...]
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "terms", tuple(self.terms))
@@ -61,6 +66,10 @@ class Atom:
             raise ValueError(
                 f"predicate {self.predicate} applied to {len(self.terms)} terms"
             )
+        object.__setattr__(self, "_hash", hash((self.predicate, self.terms)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def is_ground(self) -> bool:

@@ -7,11 +7,16 @@ In all the algorithms of the paper the source contains variables (rule bodies,
 queries) and the target is ground (an interpretation), and negative literals
 are checked against the target interpretation by *absence* of the
 corresponding positive atom; this module implements exactly that, via a
-backtracking matcher over a predicate index.
+backtracking matcher over the multi-key :class:`~repro.engine.index.RelationIndex`.
 
 Nulls occurring in the *source* are treated like variables (they may be mapped
 to any term), which is what is needed when checking whether one chase result
 maps into another; nulls in the *target* are plain domain elements.
+
+The matching primitives (:func:`match_terms`, :func:`match_atom`) and the
+index itself live in :mod:`repro.engine`; this module re-exports them and
+keeps the historical entry points (``AtomIndex``, ``extend_homomorphisms``,
+``ground_matches``) working unchanged on top of the engine.
 """
 
 from __future__ import annotations
@@ -19,11 +24,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
 
+from ..engine.index import (
+    RelationIndex,
+    is_flexible as _is_flexible,
+    match_atom,
+    match_terms,
+)
 from .atoms import Atom, Literal, Predicate, apply_substitution
-from .terms import Constant, FunctionTerm, GroundTerm, Null, Term, Variable
+from .terms import Term
 
 __all__ = [
     "AtomIndex",
+    "RelationIndex",
     "match_terms",
     "match_atom",
     "homomorphisms",
@@ -36,96 +48,28 @@ __all__ = [
 Homomorphism = Dict[Term, Term]
 
 
-class AtomIndex:
-    """An index of ground atoms by predicate (and by first constant argument).
+class AtomIndex(RelationIndex):
+    """Backward-compatible alias of :class:`~repro.engine.index.RelationIndex`.
 
-    The stable-model engines repeatedly look for all atoms of a predicate that
-    agree with a partially instantiated pattern; indexing by predicate keeps
-    that operation proportional to the number of candidate atoms instead of
-    the size of the whole interpretation.
+    Historically this class indexed ground atoms by predicate only (its
+    docstring over-promised indexing "by first constant argument", which the
+    implementation never did).  It is now a thin subclass of the engine's
+    multi-key :class:`RelationIndex`, which builds hash indexes on whatever
+    argument positions are bound at lookup time — so the old promise is
+    finally true, and then some.  Existing imports and the construction,
+    ``add``/``update``, membership, iteration and ``candidates`` APIs keep
+    working unchanged.
     """
 
-    def __init__(self, atoms: Iterable[Atom] = ()):  # noqa: D401
-        self._by_predicate: dict[Predicate, list[Atom]] = {}
-        self._all: set[Atom] = set()
-        for atom in atoms:
-            self.add(atom)
 
-    def add(self, atom: Atom) -> None:
-        if atom in self._all:
-            return
-        self._all.add(atom)
-        self._by_predicate.setdefault(atom.predicate, []).append(atom)
-
-    def update(self, atoms: Iterable[Atom]) -> None:
-        for atom in atoms:
-            self.add(atom)
-
-    def __contains__(self, atom: Atom) -> bool:
-        return atom in self._all
-
-    def __len__(self) -> int:
-        return len(self._all)
-
-    def __iter__(self) -> Iterator[Atom]:
-        return iter(self._all)
-
-    def candidates(self, predicate: Predicate) -> Sequence[Atom]:
-        """All indexed atoms over *predicate*."""
-        return self._by_predicate.get(predicate, ())
-
-    def atoms(self) -> frozenset[Atom]:
-        return frozenset(self._all)
-
-
-def _is_flexible(term: Term) -> bool:
-    """Source terms that may be (re)mapped: variables and labelled nulls."""
-    return isinstance(term, (Variable, Null))
-
-
-def match_terms(
-    pattern: Term, target: Term, assignment: Homomorphism
-) -> Optional[Homomorphism]:
-    """Try to extend *assignment* so that *pattern* maps onto *target*.
-
-    Returns the extended assignment, or ``None`` if matching is impossible.
-    The input assignment is never mutated.
-    """
-    if _is_flexible(pattern):
-        bound = assignment.get(pattern)
-        if bound is None:
-            extended = dict(assignment)
-            extended[pattern] = target
-            return extended
-        return assignment if bound == target else None
-    if isinstance(pattern, Constant):
-        return assignment if pattern == target else None
-    if isinstance(pattern, FunctionTerm):
-        if not isinstance(target, FunctionTerm) or pattern.function != target.function:
-            return None
-        if len(pattern.arguments) != len(target.arguments):
-            return None
-        current: Optional[Homomorphism] = assignment
-        for sub_pattern, sub_target in zip(pattern.arguments, target.arguments):
-            current = match_terms(sub_pattern, sub_target, current)
-            if current is None:
-                return None
-        return current
-    raise TypeError(f"unexpected pattern term {pattern!r}")  # pragma: no cover
-
-
-def match_atom(
-    pattern: Atom, target: Atom, assignment: Homomorphism
-) -> Optional[Homomorphism]:
-    """Try to extend *assignment* so that *pattern* maps onto *target*."""
-    if pattern.predicate != target.predicate:
-        return None
-    current: Optional[Homomorphism] = assignment
-    for pattern_term, target_term in zip(pattern.terms, target.terms):
-        current = match_terms(pattern_term, target_term, current)
-        if current is None:
-            return None
-    return current
+def _candidates(
+    index: RelationIndex, pattern: Atom, assignment: Mapping[Term, Term]
+) -> Sequence[Atom]:
+    """Index-accelerated candidate selection with a plain-scan fallback."""
+    selector = getattr(index, "candidates_for", None)
+    if selector is not None:
+        return selector(pattern, assignment)
+    return index.candidates(pattern.predicate)
 
 
 def _ordered_atoms(atoms: Sequence[Atom], partial: Mapping[Term, Term]) -> list[Atom]:
@@ -142,10 +86,10 @@ def _ordered_atoms(atoms: Sequence[Atom], partial: Mapping[Term, Term]) -> list[
 
 def extend_homomorphisms(
     positive_atoms: Sequence[Atom],
-    index: AtomIndex,
+    index: RelationIndex,
     partial: Optional[Mapping[Term, Term]] = None,
     negative_atoms: Sequence[Atom] = (),
-    negative_against: Optional[AtomIndex] = None,
+    negative_against: Optional[RelationIndex] = None,
 ) -> Iterator[Homomorphism]:
     """Enumerate all homomorphisms mapping the pattern into *index*.
 
@@ -182,7 +126,7 @@ def extend_homomorphisms(
             yield dict(assignment)
             return
         pattern = ordered[position]
-        for candidate in index.candidates(pattern.predicate):
+        for candidate in _candidates(index, pattern, assignment):
             extended = match_atom(pattern, candidate, assignment)
             if extended is not None:
                 yield from backtrack(position + 1, extended)
@@ -192,7 +136,7 @@ def extend_homomorphisms(
 
 def homomorphisms(
     source: Sequence[Literal] | Sequence[Atom],
-    target: Iterable[Atom] | AtomIndex,
+    target: Iterable[Atom] | RelationIndex,
     partial: Optional[Mapping[Term, Term]] = None,
 ) -> Iterator[Homomorphism]:
     """Enumerate homomorphisms from a conjunction of literals into a ground set.
@@ -200,7 +144,7 @@ def homomorphisms(
     Positive literals must map onto atoms of *target*; negative literals must
     map onto atoms absent from *target*.
     """
-    index = target if isinstance(target, AtomIndex) else AtomIndex(target)
+    index = target if isinstance(target, RelationIndex) else AtomIndex(target)
     positive: list[Atom] = []
     negative: list[Atom] = []
     for item in source:
@@ -213,14 +157,14 @@ def homomorphisms(
 
 def has_homomorphism(
     source: Sequence[Literal] | Sequence[Atom],
-    target: Iterable[Atom] | AtomIndex,
+    target: Iterable[Atom] | RelationIndex,
     partial: Optional[Mapping[Term, Term]] = None,
 ) -> bool:
     """``True`` iff at least one homomorphism exists."""
     return next(homomorphisms(source, target, partial), None) is not None
 
 
-def embeds(source: Iterable[Atom], target: Iterable[Atom] | AtomIndex) -> bool:
+def embeds(source: Iterable[Atom], target: Iterable[Atom] | RelationIndex) -> bool:
     """``True`` iff the set of (possibly null-containing) atoms maps into target.
 
     Nulls of the source are treated as variables, so this realises the
@@ -253,8 +197,8 @@ class GroundMatch:
 
 def ground_matches(
     body: Sequence[Literal],
-    target: Iterable[Atom] | AtomIndex,
-    negative_against: Optional[Iterable[Atom] | AtomIndex] = None,
+    target: Iterable[Atom] | RelationIndex,
+    negative_against: Optional[Iterable[Atom] | RelationIndex] = None,
 ) -> Iterator[GroundMatch]:
     """Enumerate ground instantiations of *body* supported by *target*.
 
@@ -263,10 +207,10 @@ def ground_matches(
     the target whose negative images are absent (from ``negative_against`` or
     the target itself), the corresponding ground body.
     """
-    index = target if isinstance(target, AtomIndex) else AtomIndex(target)
+    index = target if isinstance(target, RelationIndex) else AtomIndex(target)
     if negative_against is None:
         check = index
-    elif isinstance(negative_against, AtomIndex):
+    elif isinstance(negative_against, RelationIndex):
         check = negative_against
     else:
         check = AtomIndex(negative_against)

@@ -16,7 +16,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from .atoms import Atom, Literal
 from .database import Database
-from .homomorphism import AtomIndex, extend_homomorphisms, ground_matches
+from .homomorphism import AtomIndex, RelationIndex, extend_homomorphisms, ground_matches
 from .interpretation import Interpretation
 from .rules import NDTGD, NTGD, DisjunctiveRuleSet, RuleSet
 
@@ -70,7 +70,7 @@ class Trigger:
 
 
 def _index_of(atoms: Iterable[Atom] | Interpretation | Database | AtomIndex) -> AtomIndex:
-    if isinstance(atoms, AtomIndex):
+    if isinstance(atoms, RelationIndex):  # covers AtomIndex and any engine index
         return atoms
     if isinstance(atoms, Interpretation):
         return AtomIndex(atoms.positive)

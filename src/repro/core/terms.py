@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Union
 
 __all__ = [
@@ -108,11 +108,18 @@ class FunctionTerm:
 
     function: str
     arguments: tuple["GroundTerm", ...]
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if not self.function:
             raise ValueError("function symbol must be non-empty")
         object.__setattr__(self, "arguments", tuple(self.arguments))
+        # Skolem terms nest and get hashed recursively all over the engine;
+        # cache the hash at construction.
+        object.__setattr__(self, "_hash", hash((self.function, self.arguments)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def depth(self) -> int:

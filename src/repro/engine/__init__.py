@@ -1,0 +1,48 @@
+"""repro.engine — the shared semi-naive evaluation subsystem.
+
+This package is the single evaluation substrate for the whole reproduction:
+the chase, the relevant grounding, the well-founded and stable-model engines
+all bottom out here instead of re-implementing their own scan-and-backtrack
+loops.  It has five parts:
+
+* :mod:`~repro.engine.index` — :class:`RelationIndex`, a multi-key hash index
+  over ground atoms with delta tracking (``added_since``), replacing the old
+  predicate-only ``AtomIndex``;
+* :mod:`~repro.engine.planner` — join planning: :class:`CompiledRule` and the
+  greedy bound-connectivity / smallest-relation-first literal ordering, plus
+  the index-backed join executor :func:`enumerate_matches`;
+* :mod:`~repro.engine.seminaive` — the generic semi-naive :func:`fixpoint`
+  driver (delta rules, no rederivation) and the counter-propagation
+  :class:`GroundProgramEvaluator` for ground programs;
+* :mod:`~repro.engine.backend` — the pluggable storage protocol with the
+  in-memory default and a ``sqlite3`` out-of-core backend;
+* :mod:`~repro.engine.stats` — :class:`EngineStatistics`, the shared counter
+  object surfaced in chase and solver results.
+
+See the "Engine internals" section of the top-level README for how the pieces
+fit together.
+"""
+
+from .backend import MemoryBackend, SQLiteBackend, StorageBackend
+from .index import RelationIndex, is_flexible, match_atom, match_terms, resolve_term
+from .planner import CompiledRule, compile_rule, enumerate_matches, order_body
+from .seminaive import GroundProgramEvaluator, fixpoint
+from .stats import EngineStatistics
+
+__all__ = [
+    "CompiledRule",
+    "EngineStatistics",
+    "GroundProgramEvaluator",
+    "MemoryBackend",
+    "RelationIndex",
+    "SQLiteBackend",
+    "StorageBackend",
+    "compile_rule",
+    "enumerate_matches",
+    "fixpoint",
+    "is_flexible",
+    "match_atom",
+    "match_terms",
+    "order_body",
+    "resolve_term",
+]

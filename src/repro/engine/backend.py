@@ -1,0 +1,236 @@
+"""Pluggable storage backends for :class:`~repro.engine.index.RelationIndex`.
+
+The evaluation engine separates *what* is stored (ground atoms, grouped by
+predicate) from *where* it is stored.  A backend only needs to support four
+operations — insert-with-dedup, membership, per-predicate scan and counting —
+and the rest of the engine (hash indexes, delta tracking, join planning) is
+built on top, so swapping the in-memory default for an out-of-core store is a
+one-line change at index construction time.
+
+Two backends ship with the engine:
+
+* :class:`MemoryBackend` — plain Python dict/set storage; the default, and the
+  right choice for everything that fits in RAM.
+* :class:`SQLiteBackend` — stores the relation rows in a ``sqlite3`` database
+  (stdlib, always available), keeping only a term-decoding cache in memory.
+  This is the seam where future PRs can plug genuinely remote storage; note
+  that the index layered on top still holds its lazily built hash tables (and
+  one round of delta log) in memory, so today it bounds — not eliminates —
+  resident atom copies.
+
+Terms are serialised with ``repr`` (all term classes have faithful, eval-able
+reprs) and decoded through a memoised table, so round-tripping through SQLite
+preserves object identity semantics (structural equality and hashing).
+"""
+
+from __future__ import annotations
+
+import ast
+import sqlite3
+from typing import Dict, Iterable, Iterator, List, Protocol, Sequence, Set
+
+from ..core.atoms import Atom, Predicate
+from ..core.terms import Constant, FunctionTerm, Null
+
+__all__ = ["StorageBackend", "MemoryBackend", "SQLiteBackend"]
+
+
+class StorageBackend(Protocol):
+    """The minimal storage contract the engine requires."""
+
+    def insert(self, atom: Atom) -> bool:
+        """Store *atom*; return ``True`` iff it was not already present."""
+        ...
+
+    def __contains__(self, atom: Atom) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Atom]: ...
+
+    def atoms_of(self, predicate: Predicate) -> Sequence[Atom]:
+        """All stored atoms over *predicate*, in insertion order."""
+        ...
+
+    def count(self, predicate: Predicate) -> int:
+        """The number of stored atoms over *predicate* (cardinality estimate)."""
+        ...
+
+    def predicates(self) -> Iterable[Predicate]: ...
+
+
+class MemoryBackend:
+    """Default in-memory storage: a set for membership, lists for scans."""
+
+    __slots__ = ("_by_predicate", "_all")
+
+    def __init__(self) -> None:
+        self._by_predicate: Dict[Predicate, List[Atom]] = {}
+        self._all: Set[Atom] = set()
+
+    def insert(self, atom: Atom) -> bool:
+        if atom in self._all:
+            return False
+        self._all.add(atom)
+        self._by_predicate.setdefault(atom.predicate, []).append(atom)
+        return True
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._all
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._all)
+
+    def atoms_of(self, predicate: Predicate) -> Sequence[Atom]:
+        return self._by_predicate.get(predicate, ())
+
+    def count(self, predicate: Predicate) -> int:
+        return len(self._by_predicate.get(predicate, ()))
+
+    def predicates(self) -> Iterable[Predicate]:
+        return self._by_predicate.keys()
+
+
+#: Separator used between encoded terms of one row (never occurs in reprs,
+#: which escape non-printable characters).
+_SEP = "\x1f"
+
+_TERM_CONSTRUCTORS = {
+    "Constant": Constant,
+    "Null": Null,
+    "FunctionTerm": FunctionTerm,
+}
+
+
+def _term_from_ast(node: ast.expr):
+    """Rebuild a term from the AST of its ``repr``.
+
+    Only the three ground-term constructors, string literals and tuples are
+    accepted, so a tampered database file can at worst fail to decode — it
+    can never execute code (this is deliberately *not* ``eval``).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Tuple):
+        return tuple(_term_from_ast(element) for element in node.elts)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _TERM_CONSTRUCTORS
+        and not node.keywords
+    ):
+        return _TERM_CONSTRUCTORS[node.func.id](
+            *(_term_from_ast(argument) for argument in node.args)
+        )
+    raise ValueError(f"malformed term encoding: {ast.dump(node)}")
+
+
+class SQLiteBackend:
+    """Out-of-core storage keeping relation rows in a ``sqlite3`` database.
+
+    Parameters
+    ----------
+    path:
+        Database location; the default ``":memory:"`` is mainly useful for
+        tests — pass a file path for genuinely out-of-core instances.
+
+    Rows live in a single ``facts`` table keyed by ``(predicate, args)``; the
+    encoded form of each term is its ``repr``, decoded back on scan through a
+    memoised cache so repeated scans do not re-parse.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        # Autocommit: every insert is durable without explicit commit calls,
+        # so the data survives the connection (and the process).
+        self._connection = sqlite3.connect(path, isolation_level=None)
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS facts ("
+            " predicate TEXT NOT NULL,"
+            " arity INTEGER NOT NULL,"
+            " args TEXT NOT NULL,"
+            " seq INTEGER,"
+            " PRIMARY KEY (predicate, arity, args))"
+        )
+        self._decode_cache: Dict[str, object] = {}
+        self._size = int(
+            self._connection.execute("SELECT COUNT(*) FROM facts").fetchone()[0]
+        )
+        self._seq = self._size
+
+    # ------------------------------------------------------------- encoding
+    @staticmethod
+    def _encode_atom(atom: Atom) -> str:
+        return _SEP.join(repr(term) for term in atom.terms)
+
+    def _decode_term(self, text: str):
+        term = self._decode_cache.get(text)
+        if term is None:
+            term = _term_from_ast(ast.parse(text, mode="eval").body)
+            self._decode_cache[text] = term
+        return term
+
+    def _decode_row(self, name: str, arity: int, args: str) -> Atom:
+        predicate = Predicate(name, arity)
+        if not args:
+            return Atom(predicate, ())
+        terms = tuple(self._decode_term(part) for part in args.split(_SEP))
+        return Atom(predicate, terms)
+
+    # -------------------------------------------------------------- protocol
+    def insert(self, atom: Atom) -> bool:
+        cursor = self._connection.execute(
+            "INSERT OR IGNORE INTO facts (predicate, arity, args, seq)"
+            " VALUES (?, ?, ?, ?)",
+            (atom.predicate.name, atom.predicate.arity, self._encode_atom(atom), self._seq),
+        )
+        if cursor.rowcount:
+            self._size += 1
+            self._seq += 1
+            return True
+        return False
+
+    def __contains__(self, atom: Atom) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM facts WHERE predicate = ? AND arity = ? AND args = ?",
+            (atom.predicate.name, atom.predicate.arity, self._encode_atom(atom)),
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Atom]:
+        rows = self._connection.execute(
+            "SELECT predicate, arity, args FROM facts ORDER BY seq"
+        ).fetchall()
+        for name, arity, args in rows:
+            yield self._decode_row(name, arity, args)
+
+    def atoms_of(self, predicate: Predicate) -> Sequence[Atom]:
+        rows = self._connection.execute(
+            "SELECT args FROM facts WHERE predicate = ? AND arity = ? ORDER BY seq",
+            (predicate.name, predicate.arity),
+        ).fetchall()
+        return [
+            self._decode_row(predicate.name, predicate.arity, args)
+            for (args,) in rows
+        ]
+
+    def count(self, predicate: Predicate) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM facts WHERE predicate = ? AND arity = ?",
+            (predicate.name, predicate.arity),
+        ).fetchone()
+        return int(row[0])
+
+    def predicates(self) -> Iterable[Predicate]:
+        rows = self._connection.execute(
+            "SELECT DISTINCT predicate, arity FROM facts"
+        ).fetchall()
+        return [Predicate(name, arity) for name, arity in rows]
+
+    def close(self) -> None:
+        self._connection.close()

@@ -1,0 +1,284 @@
+"""Multi-key relation indexing with delta tracking.
+
+:class:`RelationIndex` is the storage-facing half of the evaluation engine.
+It generalises the predicate-only ``AtomIndex`` the codebase started with in
+two directions:
+
+* **multi-key hash indexes** — for every *access pattern* (a predicate plus a
+  set of argument positions that are bound at lookup time) the index lazily
+  builds, on first use, a hash table from the bound-position values to the
+  matching atoms, and maintains it incrementally on insertion.  A lookup like
+  ``edge(a, X)`` therefore touches only the atoms whose first argument is
+  ``a`` instead of every ``edge`` atom;
+* **delta tracking** — insertions are recorded in an append-only log, and
+  ``added_since(tick)`` returns exactly the atoms added after a given
+  :meth:`tick`.  This is what lets the semi-naive fixpoint driver and the
+  chase find *new* triggers without rescanning old ones.
+
+The underlying tuple store is pluggable (see :mod:`repro.engine.backend`);
+hash indexes and the delta log always live in memory, they are access-path
+metadata, not primary storage.
+
+This module also hosts the term/atom matching primitives (``match_terms`` /
+``match_atom``); they are re-exported by :mod:`repro.core.homomorphism` for
+backward compatibility but live here so every engine layer can use them
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom, Predicate
+from ..core.terms import Constant, FunctionTerm, Null, Term, Variable
+from .backend import MemoryBackend, StorageBackend
+from .stats import EngineStatistics
+
+__all__ = [
+    "RelationIndex",
+    "match_terms",
+    "match_atom",
+    "is_flexible",
+    "resolve_term",
+]
+
+#: A (partial) homomorphism: maps variables and nulls to ground terms.
+Assignment = Dict[Term, Term]
+
+
+def is_flexible(term: Term) -> bool:
+    """Source terms that may be (re)mapped: variables and labelled nulls."""
+    return isinstance(term, (Variable, Null))
+
+
+def match_terms(
+    pattern: Term, target: Term, assignment: Assignment
+) -> Optional[Assignment]:
+    """Try to extend *assignment* so that *pattern* maps onto *target*.
+
+    Returns the extended assignment, or ``None`` if matching is impossible.
+    The input assignment is never mutated.
+    """
+    if is_flexible(pattern):
+        bound = assignment.get(pattern)
+        if bound is None:
+            extended = dict(assignment)
+            extended[pattern] = target
+            return extended
+        return assignment if bound == target else None
+    if isinstance(pattern, Constant):
+        return assignment if pattern == target else None
+    if isinstance(pattern, FunctionTerm):
+        if not isinstance(target, FunctionTerm) or pattern.function != target.function:
+            return None
+        if len(pattern.arguments) != len(target.arguments):
+            return None
+        current: Optional[Assignment] = assignment
+        for sub_pattern, sub_target in zip(pattern.arguments, target.arguments):
+            current = match_terms(sub_pattern, sub_target, current)
+            if current is None:
+                return None
+        return current
+    raise TypeError(f"unexpected pattern term {pattern!r}")  # pragma: no cover
+
+
+def match_atom(
+    pattern: Atom, target: Atom, assignment: Assignment
+) -> Optional[Assignment]:
+    """Try to extend *assignment* so that *pattern* maps onto *target*."""
+    if pattern.predicate != target.predicate:
+        return None
+    current: Optional[Assignment] = assignment
+    for pattern_term, target_term in zip(pattern.terms, target.terms):
+        current = match_terms(pattern_term, target_term, current)
+        if current is None:
+            return None
+    return current
+
+
+def resolve_term(term: Term, assignment: Mapping[Term, Term]) -> Optional[Term]:
+    """The ground value of *term* under *assignment*, or ``None`` if unbound.
+
+    Used to decide which argument positions of a pattern are *bound* (and can
+    therefore drive an indexed lookup): constants resolve to themselves,
+    flexible terms resolve through the assignment, and function terms resolve
+    recursively iff all their arguments do.
+    """
+    if isinstance(term, Constant):
+        return term
+    if is_flexible(term):
+        return assignment.get(term)
+    if isinstance(term, FunctionTerm):
+        arguments = []
+        for argument in term.arguments:
+            value = resolve_term(argument, assignment)
+            if value is None:
+                return None
+            arguments.append(value)
+        return FunctionTerm(term.function, tuple(arguments))
+    return None  # pragma: no cover - exhaustive over term kinds
+
+
+class RelationIndex:
+    """An indexed, delta-tracked set of ground atoms.
+
+    Parameters
+    ----------
+    atoms:
+        Initial contents.
+    backend:
+        Tuple storage (defaults to :class:`~repro.engine.backend.MemoryBackend`).
+        A pre-populated backend is adopted as-is; its existing atoms are
+        replayed into the delta log so ``added_since(0)`` stays exhaustive.
+    statistics:
+        Optional shared counters; the index reports lazily built hash indexes
+        and derived (newly inserted) tuples.
+    """
+
+    __slots__ = ("_backend", "_log", "_log_offset", "_patterns", "_by_predicate", "_stats")
+
+    def __init__(
+        self,
+        atoms: Iterable[Atom] = (),
+        *,
+        backend: Optional[StorageBackend] = None,
+        statistics: Optional[EngineStatistics] = None,
+    ):
+        self._backend: StorageBackend = backend if backend is not None else MemoryBackend()
+        self._log: List[Atom] = []
+        self._log_offset: int = 0
+        #: (predicate, bound positions) -> {key values -> [atoms]}
+        self._patterns: Dict[
+            Tuple[Predicate, Tuple[int, ...]], Dict[Tuple[Term, ...], List[Atom]]
+        ] = {}
+        #: predicate -> the pattern entries that index it (for incremental upkeep)
+        self._by_predicate: Dict[
+            Predicate, List[Tuple[Tuple[int, ...], Dict[Tuple[Term, ...], List[Atom]]]]
+        ] = {}
+        self._stats = statistics
+        if backend is not None and len(backend):
+            self._log.extend(backend)
+        for atom in atoms:
+            self.add(atom)
+
+    # -------------------------------------------------------------- mutation
+    def add(self, atom: Atom) -> bool:
+        """Insert *atom*; return ``True`` iff it was new."""
+        if not self._backend.insert(atom):
+            return False
+        self._log.append(atom)
+        if self._stats is not None:
+            self._stats.tuples_derived += 1
+        for positions, table in self._by_predicate.get(atom.predicate, ()):
+            key = tuple(atom.terms[i] for i in positions)
+            table.setdefault(key, []).append(atom)
+        return True
+
+    def update(self, atoms: Iterable[Atom]) -> None:
+        for atom in atoms:
+            self.add(atom)
+
+    # ------------------------------------------------------------- set views
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._backend
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._backend)
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset(self._backend)
+
+    def predicates(self) -> Iterable[Predicate]:
+        return self._backend.predicates()
+
+    # -------------------------------------------------------- delta tracking
+    def tick(self) -> int:
+        """An opaque high-water mark for :meth:`added_since`."""
+        return self._log_offset + len(self._log)
+
+    def added_since(self, tick: int) -> Sequence[Atom]:
+        """The atoms added after *tick*, in insertion order.
+
+        *tick* must not predate a :meth:`compact` call — compacted history is
+        gone and requesting it raises ``ValueError``.
+        """
+        if tick < self._log_offset:
+            raise ValueError(
+                f"delta log compacted past tick {tick} (oldest retained: "
+                f"{self._log_offset})"
+            )
+        return self._log[tick - self._log_offset:]
+
+    def compact(self, tick: int) -> None:
+        """Forget the delta log before *tick*.
+
+        Fixpoint drivers call this once a round's delta has been fully
+        consumed, so the log never holds more than one round of atoms — the
+        piece that matters when the backend is out-of-core and the index
+        should not pin every atom in memory.  (Lazily built hash indexes
+        still reference atoms; drop the index, or avoid bound-position
+        lookups, for truly memory-light scans.)
+        """
+        if tick <= self._log_offset:
+            return
+        drop = min(tick, self._log_offset + len(self._log)) - self._log_offset
+        del self._log[:drop]
+        self._log_offset += drop
+
+    # ----------------------------------------------------------- access paths
+    def candidates(self, predicate: Predicate) -> Sequence[Atom]:
+        """All indexed atoms over *predicate* (the coarsest access path)."""
+        return self._backend.atoms_of(predicate)
+
+    def count(self, predicate: Predicate) -> int:
+        """Cardinality of the relation (the planner's size estimate)."""
+        return self._backend.count(predicate)
+
+    def candidates_for(
+        self, pattern: Atom, assignment: Optional[Mapping[Term, Term]] = None
+    ) -> Sequence[Atom]:
+        """Atoms that can possibly match *pattern* under *assignment*.
+
+        The bound argument positions of the pattern (constants, assigned
+        variables/nulls, fully resolvable function terms) select a hash index,
+        built lazily on first use for that access pattern; with no bound
+        position this degrades to the per-predicate scan.  The returned atoms
+        are a superset filter — callers still run :func:`match_atom` — but for
+        hash-indexed positions the filtering is exact.
+        """
+        bound = assignment or {}
+        positions: List[int] = []
+        key: List[Term] = []
+        for position, term in enumerate(pattern.terms):
+            value = resolve_term(term, bound)
+            if value is not None:
+                positions.append(position)
+                key.append(value)
+        if not positions:
+            return self.candidates(pattern.predicate)
+        table = self._ensure_pattern(pattern.predicate, tuple(positions))
+        return table.get(tuple(key), ())
+
+    def _ensure_pattern(
+        self, predicate: Predicate, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[Term, ...], List[Atom]]:
+        table = self._patterns.get((predicate, positions))
+        if table is None:
+            table = {}
+            for atom in self._backend.atoms_of(predicate):
+                key = tuple(atom.terms[i] for i in positions)
+                table.setdefault(key, []).append(atom)
+            self._patterns[(predicate, positions)] = table
+            self._by_predicate.setdefault(predicate, []).append((positions, table))
+            if self._stats is not None:
+                self._stats.index_builds += 1
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RelationIndex({len(self)} atoms, "
+            f"{len(self._patterns)} access patterns)"
+        )

@@ -1,0 +1,258 @@
+"""Join planning: compiled rules and body-literal ordering.
+
+Matching a rule body against an interpretation is a multi-way join, and the
+order in which the body literals are visited dominates the cost of the
+backtracking search.  The planner applies the classic greedy heuristic used by
+Datalog engines:
+
+1. a literal whose arguments are (partially) **bound** — by constants, by the
+   partial assignment, or by variables bound earlier in the plan — can use a
+   hash index of :class:`~repro.engine.index.RelationIndex` and is strongly
+   preferred over an unbound scan;
+2. among equally bound literals, the one over the **smallest relation**
+   (estimated by current relation cardinality) goes first, shrinking the
+   intermediate result as early as possible;
+3. negative literals always run last, once safety guarantees all their
+   variables are bound, as pure ground-absence checks.
+
+A :class:`CompiledRule` caches the normalised shape of a rule (head atoms,
+positive and negative body atoms, the set of flexible terms per literal) so
+repeated evaluation — fixpoint rounds, chase rounds, stability probes — pays
+the analysis once.  :func:`compile_rule` memoises per rule object.
+
+The actual join execution (:func:`enumerate_matches`) performs index-backed
+backtracking: candidate atoms for each literal are fetched through
+``candidates_for`` using the bound positions of the current prefix, which is
+what turns the written-order nested-loop of the seed implementation into an
+index nested-loop join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom, Literal, apply_substitution
+from ..core.terms import Term
+from .index import Assignment, RelationIndex, is_flexible, match_atom, resolve_term
+from .stats import EngineStatistics
+
+__all__ = ["CompiledRule", "compile_rule", "order_body", "enumerate_matches"]
+
+
+def _flexible_terms(atom: Atom) -> frozenset[Term]:
+    """The variables and nulls occurring (at any depth) in *atom*."""
+    found: set[Term] = set()
+    stack: List[Term] = list(atom.terms)
+    while stack:
+        term = stack.pop()
+        if is_flexible(term):
+            found.add(term)
+        elif hasattr(term, "arguments"):
+            stack.extend(term.arguments)  # type: ignore[attr-defined]
+    return frozenset(found)
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """A rule normalised for the engine: heads plus split, analysed body."""
+
+    heads: tuple[Atom, ...]
+    positive: tuple[Atom, ...]
+    negative: tuple[Atom, ...]
+    source: object = field(default=None, compare=False, hash=False)
+    #: flexible terms of each positive body atom, aligned with ``positive``.
+    positive_terms: tuple[frozenset[Term], ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.positive_terms:
+            object.__setattr__(
+                self,
+                "positive_terms",
+                tuple(_flexible_terms(atom) for atom in self.positive),
+            )
+
+    @property
+    def body_terms(self) -> frozenset[Term]:
+        found: set[Term] = set()
+        for terms in self.positive_terms:
+            found.update(terms)
+        return frozenset(found)
+
+
+def _split_rule(rule) -> tuple[tuple[Atom, ...], tuple[Atom, ...], tuple[Atom, ...]]:
+    """Normalise NTGDs, normal rules and literal sequences to (heads, pos, neg)."""
+    if hasattr(rule, "body") and hasattr(rule, "head"):  # NTGD-shaped
+        positive = tuple(lit.atom for lit in rule.body if lit.positive)
+        negative = tuple(lit.atom for lit in rule.body if not lit.positive)
+        head = rule.head
+        heads = tuple(head) if isinstance(head, tuple) else (head,)
+        return heads, positive, negative
+    if hasattr(rule, "positive_body"):  # NormalRule-shaped
+        return (rule.head,), tuple(rule.positive_body), tuple(rule.negative_body)
+    raise TypeError(f"cannot compile rule object {rule!r}")
+
+
+_COMPILE_CACHE: Dict[tuple[int, bool], CompiledRule] = {}
+#: Cap on memoised plans; beyond it the cache is reset (compilation is cheap,
+#: unbounded growth across many transient rule sets is not).
+_COMPILE_CACHE_LIMIT = 4096
+
+
+def compile_rule(
+    rule,
+    *,
+    ignore_negation: bool = False,
+    statistics: Optional[EngineStatistics] = None,
+) -> CompiledRule:
+    """Compile *rule* (NTGD or normal rule), memoised per rule object.
+
+    With ``ignore_negation`` the negative body is dropped — the shape needed
+    by the positive-closure computation of the relevant grounding.
+    """
+    if isinstance(rule, CompiledRule):
+        return rule
+    key = (id(rule), ignore_negation)
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None and cached.source is rule:
+        return cached
+    heads, positive, negative = _split_rule(rule)
+    compiled = CompiledRule(
+        heads, positive, () if ignore_negation else negative, source=rule
+    )
+    if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
+        _COMPILE_CACHE.clear()
+    _COMPILE_CACHE[key] = compiled
+    if statistics is not None:
+        statistics.rules_compiled += 1
+    return compiled
+
+
+def _bound_position_count(atom: Atom, bound: set[Term]) -> int:
+    """How many argument positions of *atom* are resolvable given *bound* terms."""
+    count = 0
+    for term in atom.terms:
+        if is_flexible(term):
+            if term in bound:
+                count += 1
+        elif _flexible_terms_of_term(term) <= bound:
+            # Constants are always bound; a function term counts once every
+            # variable/null inside it is bound.
+            count += 1
+    return count
+
+
+def _flexible_terms_of_term(term: Term) -> frozenset[Term]:
+    found: set[Term] = set()
+    stack: List[Term] = [term]
+    while stack:
+        current = stack.pop()
+        if is_flexible(current):
+            found.add(current)
+        elif hasattr(current, "arguments"):
+            stack.extend(current.arguments)  # type: ignore[attr-defined]
+    return frozenset(found)
+
+
+def order_body(
+    compiled: CompiledRule,
+    *,
+    index: Optional[RelationIndex] = None,
+    bound: frozenset[Term] = frozenset(),
+    skip: int = -1,
+) -> tuple[int, ...]:
+    """A greedy join order over the positive body, as literal indices.
+
+    Starting from the terms in *bound*, repeatedly pick the literal with the
+    most bound argument positions, breaking ties by smallest estimated
+    relation cardinality (``index.count``) and finally by written position for
+    determinism.  ``skip`` excludes a literal (the delta literal of a
+    semi-naive round, which is matched up front).
+    """
+    remaining = [i for i in range(len(compiled.positive)) if i != skip]
+    bound_terms = set(bound)
+    plan: List[int] = []
+    while remaining:
+        def rank(i: int) -> tuple:
+            atom = compiled.positive[i]
+            bound_positions = _bound_position_count(atom, bound_terms)
+            cardinality = index.count(atom.predicate) if index is not None else 0
+            unbound = len(compiled.positive_terms[i] - bound_terms)
+            return (-bound_positions, cardinality, unbound, i)
+
+        best = min(remaining, key=rank)
+        remaining.remove(best)
+        plan.append(best)
+        bound_terms.update(compiled.positive_terms[best])
+    return tuple(plan)
+
+
+def enumerate_matches(
+    compiled: CompiledRule,
+    index: RelationIndex,
+    *,
+    partial: Optional[Mapping[Term, Term]] = None,
+    negative_against: Optional[RelationIndex] = None,
+    delta: Optional[Sequence[Atom]] = None,
+    delta_position: Optional[int] = None,
+    statistics: Optional[EngineStatistics] = None,
+) -> Iterator[Assignment]:
+    """Enumerate assignments matching the compiled body into *index*.
+
+    With ``delta``/``delta_position`` the literal at that position is matched
+    only against the delta atoms (the semi-naive restriction); the remaining
+    literals join against the full index.  Negative body atoms are checked for
+    absence against ``negative_against`` (default: *index*) once the positive
+    part is fully bound; a non-ground negative image raises ``ValueError``
+    (unsafe pattern), mirroring the classic matcher.
+    """
+    base: Assignment = dict(partial) if partial else {}
+    check = negative_against if negative_against is not None else index
+    negatives = compiled.negative
+
+    def verify_negatives(assignment: Assignment) -> bool:
+        for negative in negatives:
+            image = apply_substitution(negative, assignment)
+            if not image.is_ground:
+                raise ValueError(
+                    f"negative atom {negative} not fully bound (unsafe pattern)"
+                )
+            if image in check:
+                return False
+        return True
+
+    def backtrack(plan: Sequence[int], depth: int, assignment: Assignment) -> Iterator[Assignment]:
+        if depth == len(plan):
+            if verify_negatives(assignment):
+                yield dict(assignment)
+            return
+        pattern = compiled.positive[plan[depth]]
+        candidates = index.candidates_for(pattern, assignment)
+        if statistics is not None:
+            statistics.tuples_scanned += len(candidates)
+        for candidate in candidates:
+            extended = match_atom(pattern, candidate, assignment)
+            if extended is not None:
+                yield from backtrack(plan, depth + 1, extended)
+
+    if delta_position is None:
+        plan = order_body(compiled, index=index, bound=frozenset(base))
+        yield from backtrack(plan, 0, base)
+        return
+
+    first = compiled.positive[delta_position]
+    plan = order_body(
+        compiled,
+        index=index,
+        bound=frozenset(base) | compiled.positive_terms[delta_position],
+        skip=delta_position,
+    )
+    delta_atoms = delta if delta is not None else ()
+    if statistics is not None:
+        statistics.tuples_scanned += len(delta_atoms)
+    for candidate in delta_atoms:
+        if candidate.predicate != first.predicate:
+            continue
+        seeded = match_atom(first, candidate, base)
+        if seeded is not None:
+            yield from backtrack(plan, 0, seeded)

@@ -1,0 +1,249 @@
+"""The generic semi-naive fixpoint driver.
+
+**The delta-rule transformation.**  Naive bottom-up evaluation re-runs every
+rule against the *whole* interpretation on every round, re-deriving everything
+it already knows.  Semi-naive evaluation exploits a simple fact: a rule
+instantiation can produce a *new* atom in round ``k`` only if at least one of
+its positive body atoms was itself derived in round ``k - 1``.  Each rule
+
+    h  <-  b1, b2, ..., bn
+
+is therefore evaluated as the union of its *delta rules*
+
+    h  <-  Δb1, b2, ..., bn
+    h  <-  b1, Δb2, ..., bn
+    ...
+    h  <-  b1, b2, ..., Δbn
+
+where ``Δbi`` ranges only over the atoms added in the previous round (obtained
+from :meth:`RelationIndex.added_since`) and the remaining literals join
+against the full index.  Atom insertion deduplicates, so the overlap between
+delta rules is harmless, and no derivation is missed because every new match
+must involve at least one new atom.
+
+:func:`fixpoint` packages this loop for arbitrary rule shapes (normal rules,
+NTGDs, pre-compiled rules); :class:`GroundProgramEvaluator` is the
+special-case engine for *ground* programs, where matching degenerates to
+counter-based propagation (each rule watches its body atoms and fires when the
+count of underived ones reaches zero) — the classic linear-time T_P used here
+for reduct and well-founded computations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom, apply_substitution
+from ..errors import SolverLimitError
+from .index import RelationIndex
+from .planner import CompiledRule, compile_rule, enumerate_matches
+from .stats import EngineStatistics
+
+__all__ = ["fixpoint", "GroundProgramEvaluator"]
+
+#: callback invoked for every newly derived atom: (atom, source rule, assignment)
+DeriveCallback = Callable[[Atom, object, dict], None]
+
+
+def fixpoint(
+    rules: Iterable,
+    facts: Iterable[Atom] = (),
+    *,
+    index: Optional[RelationIndex] = None,
+    on_derive: Optional[DeriveCallback] = None,
+    ignore_negation: bool = False,
+    negative_against: Optional[RelationIndex] = None,
+    max_atoms: Optional[int] = None,
+    limit_message: str = "fixpoint exceeded max_atoms",
+    statistics: Optional[EngineStatistics] = None,
+) -> RelationIndex:
+    """Compute the least fixpoint of *rules* over *facts*, semi-naively.
+
+    Parameters
+    ----------
+    rules:
+        Normal rules, NTGDs or :class:`CompiledRule` objects.  Heads with
+        several atoms derive all of them; head instances that are not ground
+        after substitution are skipped (they cannot enter an interpretation).
+    facts:
+        The initial atoms (round 0 delta).
+    index:
+        An existing :class:`RelationIndex` to grow; a fresh in-memory index is
+        created when omitted.
+    on_derive:
+        Invoked as ``on_derive(atom, rule, assignment)`` for every atom newly
+        added by a rule firing (not for the seed facts).
+    ignore_negation:
+        Drop negative body literals (the positive-closure approximation).
+    negative_against:
+        When negation is kept, the *fixed* index against which negative
+        literals are tested for absence.  Defaults to the growing index
+        itself, which is only sound for stratified uses — the callers in this
+        codebase either ignore negation or pass a fixed oracle.
+    max_atoms:
+        Budget on the total index size; exceeding it raises
+        :class:`~repro.errors.SolverLimitError` with *limit_message*.
+    """
+    target = index if index is not None else RelationIndex(statistics=statistics)
+    compiled: List[CompiledRule] = [
+        compile_rule(rule, ignore_negation=ignore_negation, statistics=statistics)
+        for rule in rules
+    ]
+
+    def derive(atom: Atom, rule: CompiledRule, assignment: dict) -> None:
+        if not atom.is_ground:
+            return
+        if target.add(atom):
+            if statistics is not None:
+                statistics.triggers_fired += 1
+            if on_derive is not None:
+                on_derive(atom, rule.source if rule.source is not None else rule, assignment)
+            if max_atoms is not None and len(target) > max_atoms:
+                raise SolverLimitError(limit_message)
+
+    target.update(facts)
+    if max_atoms is not None and len(target) > max_atoms:
+        raise SolverLimitError(limit_message)
+    # Rules without a positive body fire once, up front (their negative
+    # literals, if kept, are still verified by the matcher's empty join).
+    for rule in compiled:
+        if not rule.positive:
+            for assignment in enumerate_matches(
+                rule, target, negative_against=negative_against, statistics=statistics
+            ):
+                for head in rule.heads:
+                    derive(head, rule, assignment)
+
+    first_round = True
+    tick = target.tick()
+    while True:
+        delta = () if first_round else list(target.added_since(tick))
+        if not first_round and not delta:
+            break
+        tick = target.tick()
+        # The delta is materialised (and round 1 scans everything anyway);
+        # older log entries are dead weight — compacting them keeps the log
+        # to one round of atoms, which matters for out-of-core backends.
+        target.compact(tick)
+        if statistics is not None:
+            statistics.iterations += 1
+        # Materialise each round's matches before inserting, so the hash
+        # indexes are never mutated while the join iterates over them.
+        pending: List[Tuple[CompiledRule, dict]] = []
+        for rule in compiled:
+            if not rule.positive:
+                continue
+            if first_round:
+                pending.extend(
+                    (rule, assignment)
+                    for assignment in enumerate_matches(
+                        rule,
+                        target,
+                        negative_against=negative_against,
+                        statistics=statistics,
+                    )
+                )
+            else:
+                for position in range(len(rule.positive)):
+                    pending.extend(
+                        (rule, assignment)
+                        for assignment in enumerate_matches(
+                            rule,
+                            target,
+                            delta=delta,
+                            delta_position=position,
+                            negative_against=negative_against,
+                            statistics=statistics,
+                        )
+                    )
+        first_round = False
+        for rule, assignment in pending:
+            for head in rule.heads:
+                derive(apply_substitution(head, assignment), rule, assignment)
+    return target
+
+
+class GroundProgramEvaluator:
+    """A ground normal program compiled for repeated least-model queries.
+
+    The evaluator analyses the program once — mapping every body atom to the
+    rules watching it and recording per-rule body sizes — and then answers
+    :meth:`least_model` / :meth:`reduct_least_model` queries by counter-based
+    propagation: when an atom is derived, the unsatisfied-body counters of the
+    rules watching it are decremented, and a rule fires the moment its counter
+    reaches zero.  Each query is linear in the size of the (reduct of the)
+    program, which is what makes the alternating-fixpoint well-founded
+    computation and the stable-model checks affordable on large groundings.
+    """
+
+    __slots__ = ("_heads", "_negatives", "_watchers", "_body_sizes", "_rule_count")
+
+    def __init__(self, program: Iterable) -> None:
+        heads: List[Atom] = []
+        negatives: List[Tuple[Atom, ...]] = []
+        body_sizes: List[int] = []
+        watchers: Dict[Atom, List[int]] = {}
+        for rule_id, rule in enumerate(program):
+            heads.append(rule.head)
+            negatives.append(tuple(rule.negative_body))
+            body = tuple(rule.positive_body)
+            body_sizes.append(len(body))
+            for atom in body:
+                watchers.setdefault(atom, []).append(rule_id)
+        self._heads = heads
+        self._negatives = negatives
+        self._watchers = watchers
+        self._body_sizes = body_sizes
+        self._rule_count = len(heads)
+
+    def least_model(
+        self, *, blocked: Optional[Sequence[bool]] = None
+    ) -> frozenset[Atom]:
+        """The least model of the positive part, skipping *blocked* rules.
+
+        ``blocked[i]`` marks rule ``i`` as deleted (the reduct's first step);
+        negative bodies of surviving rules are *erased* (the second step), so
+        calling this with no blocking on a program with negation computes the
+        least model of the program's positive projection.
+        """
+        counters = list(self._body_sizes)
+        derived: set[Atom] = set()
+        queue: deque[Atom] = deque()
+
+        def fire(rule_id: int) -> None:
+            head = self._heads[rule_id]
+            if head not in derived:
+                derived.add(head)
+                queue.append(head)
+
+        for rule_id in range(self._rule_count):
+            if counters[rule_id] == 0 and (blocked is None or not blocked[rule_id]):
+                fire(rule_id)
+        while queue:
+            atom = queue.popleft()
+            for rule_id in self._watchers.get(atom, ()):
+                counters[rule_id] -= 1
+                if counters[rule_id] == 0 and (
+                    blocked is None or not blocked[rule_id]
+                ):
+                    fire(rule_id)
+        return frozenset(derived)
+
+    def reduct_least_model(self, interpretation: Iterable[Atom]) -> frozenset[Atom]:
+        """``lm(Π^I)`` without materialising the reduct program.
+
+        A rule is blocked exactly when one of its negative body atoms belongs
+        to *interpretation* — the Gelfond–Lifschitz deletion step — and the
+        remaining rules run positively.
+        """
+        atoms = (
+            interpretation
+            if isinstance(interpretation, (set, frozenset))
+            else frozenset(interpretation)
+        )
+        blocked = [
+            any(negative in atoms for negative in self._negatives[rule_id])
+            for rule_id in range(self._rule_count)
+        ]
+        return self.least_model(blocked=blocked)

@@ -1,0 +1,67 @@
+"""Engine statistics: a shared counter object threaded through the subsystem.
+
+Every component of :mod:`repro.engine` accepts an optional
+:class:`EngineStatistics` and increments its counters as it works, so a caller
+can see *why* an evaluation was fast or slow: how many triggers fired, how many
+tuples were derived versus merely scanned, how many hash indexes had to be
+built and how many rules were compiled.  The object is deliberately dumb — a
+bag of integers — so it can be shared freely between the index, the planner
+and the fixpoint driver without any locking or lifecycle concerns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["EngineStatistics"]
+
+
+@dataclass
+class EngineStatistics:
+    """Counters accumulated by the evaluation engine.
+
+    Attributes
+    ----------
+    triggers_fired:
+        Rule instantiations that actually produced (or attempted to produce)
+        new atoms.
+    tuples_derived:
+        Atoms newly added to an index (duplicates are not counted).
+    tuples_scanned:
+        Candidate atoms inspected by the join matcher.
+    index_builds:
+        Lazy hash-index constructions performed by :class:`RelationIndex`.
+    rules_compiled:
+        Rule bodies run through the join planner.
+    iterations:
+        Semi-naive fixpoint rounds executed.
+    """
+
+    triggers_fired: int = 0
+    tuples_derived: int = 0
+    tuples_scanned: int = 0
+    index_builds: int = 0
+    rules_compiled: int = 0
+    iterations: int = 0
+
+    def merge(self, other: "EngineStatistics") -> None:
+        """Accumulate the counters of *other* into this object."""
+        for field_ in fields(self):
+            setattr(
+                self,
+                field_.name,
+                getattr(self, field_.name) + getattr(other, field_.name),
+            )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for field_ in fields(self):
+            setattr(self, field_.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dictionary (for logging and benchmarks)."""
+        return {field_.name: getattr(self, field_.name) for field_ in fields(self)}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{name}={value}" for name, value in self.as_dict().items())
+        return f"EngineStatistics({parts})"

@@ -10,6 +10,11 @@ never be true in a stable model), and it is finite exactly when the positive
 closure is finite, which is guaranteed for Skolemizations of weakly-acyclic
 rule sets.
 
+Both phases run on the shared evaluation engine: the positive closure is a
+semi-naive :func:`~repro.engine.seminaive.fixpoint` (no rederivation across
+rounds), and rule instantiation joins each body through the planner's compiled
+access paths against the closure's :class:`~repro.engine.index.RelationIndex`.
+
 A ``max_atoms`` budget turns non-terminating groundings (e.g. Skolemizations
 of non-weakly-acyclic programs) into a clean :class:`SolverLimitError`.
 """
@@ -20,13 +25,37 @@ from typing import Iterable, Optional
 
 from ..core.atoms import Atom
 from ..core.database import Database
-from ..core.homomorphism import AtomIndex, extend_homomorphisms
-from ..errors import SolverLimitError
+from ..engine import RelationIndex, compile_rule, enumerate_matches, fixpoint
 from .programs import NormalProgram, NormalRule
 
 __all__ = ["ground_program", "positive_closure"]
 
 _DEFAULT_MAX_ATOMS = 200_000
+
+_LIMIT_MESSAGE = (
+    "positive closure exceeded max_atoms; the program "
+    "is likely not weakly acyclic after Skolemization"
+)
+
+
+def _closure_index(
+    program: NormalProgram,
+    facts: Iterable[Atom],
+    max_atoms: Optional[int],
+) -> RelationIndex:
+    """The positive-closure fixpoint as a reusable relation index."""
+    seed: set[Atom] = set(facts)
+    for rule in program:
+        if rule.is_fact and rule.head.is_ground:
+            seed.add(rule.head)
+    rules = [rule for rule in program if not rule.is_fact]
+    return fixpoint(
+        rules,
+        seed,
+        ignore_negation=True,
+        max_atoms=max_atoms,
+        limit_message=_LIMIT_MESSAGE,
+    )
 
 
 def positive_closure(
@@ -39,31 +68,7 @@ def positive_closure(
     This is the over-approximation of the atoms that can possibly be true in
     some stable model; it drives the relevant grounding.
     """
-    derived: set[Atom] = set(facts)
-    for rule in program:
-        if rule.is_fact and rule.head.is_ground:
-            derived.add(rule.head)
-    index = AtomIndex(derived)
-    changed = True
-    while changed:
-        changed = False
-        for rule in program:
-            if rule.is_fact:
-                continue
-            for assignment in extend_homomorphisms(list(rule.positive_body), index):
-                head = rule.substitute(assignment).head
-                if not head.is_ground:
-                    continue
-                if head not in derived:
-                    derived.add(head)
-                    index.add(head)
-                    changed = True
-                    if max_atoms is not None and len(derived) > max_atoms:
-                        raise SolverLimitError(
-                            "positive closure exceeded max_atoms; the program "
-                            "is likely not weakly acyclic after Skolemization"
-                        )
-    return frozenset(derived)
+    return _closure_index(program, facts, max_atoms).atoms()
 
 
 def ground_program(
@@ -79,15 +84,15 @@ def ground_program(
     (rules are safe, so they become ground too).
     """
     facts = database.atoms if isinstance(database, Database) else frozenset(database)
-    closure = positive_closure(program, facts, max_atoms)
-    index = AtomIndex(closure)
+    index = _closure_index(program, facts, max_atoms)
     ground_rules: list[NormalRule] = [NormalRule(atom) for atom in sorted(facts, key=lambda a: a.sort_key())]
     for rule in program:
         if rule.is_fact:
             if rule.head.is_ground:
                 ground_rules.append(rule)
             continue
-        for assignment in extend_homomorphisms(list(rule.positive_body), index):
+        compiled = compile_rule(rule, ignore_negation=True)
+        for assignment in enumerate_matches(compiled, index):
             instance = rule.substitute(assignment)
             if not instance.is_ground:
                 # Unsafe variables occurring only in negative literals are

@@ -1,10 +1,21 @@
-"""The Gelfond–Lifschitz reduct and least models of positive ground programs."""
+"""The Gelfond–Lifschitz reduct and least models of positive ground programs.
+
+The least-model computation runs on the engine's
+:class:`~repro.engine.seminaive.GroundProgramEvaluator` — counter-based
+propagation that is linear in the program size instead of the quadratic
+repeat-until-stable scan — and callers that evaluate many reducts of the
+*same* program (the well-founded alternating fixpoint, the stable-model
+filter) should build one evaluator and use
+:meth:`~repro.engine.seminaive.GroundProgramEvaluator.reduct_least_model`
+directly, which never materialises the reduct program at all.
+"""
 
 from __future__ import annotations
 
 from typing import Iterable
 
 from ..core.atoms import Atom
+from ..engine import GroundProgramEvaluator
 from .programs import NormalProgram, NormalRule
 
 __all__ = ["gelfond_lifschitz_reduct", "least_model", "is_classical_model"]
@@ -29,20 +40,10 @@ def gelfond_lifschitz_reduct(
 
 def least_model(program: NormalProgram) -> frozenset[Atom]:
     """The least Herbrand model of a positive ground program (T_P fixpoint)."""
-    derived: set[Atom] = set()
-    rules = list(program)
-    changed = True
-    while changed:
-        changed = False
-        for rule in rules:
-            if rule.negative_body:
-                raise ValueError("least_model expects a positive program")
-            if rule.head in derived:
-                continue
-            if all(atom in derived for atom in rule.positive_body):
-                derived.add(rule.head)
-                changed = True
-    return frozenset(derived)
+    for rule in program:
+        if rule.negative_body:
+            raise ValueError("least_model expects a positive program")
+    return GroundProgramEvaluator(program).least_model()
 
 
 def is_classical_model(program: NormalProgram, interpretation: Iterable[Atom]) -> bool:

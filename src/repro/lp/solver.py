@@ -23,6 +23,7 @@ from typing import Iterable, Iterator, Optional
 from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.rules import NTGD, RuleSet
+from ..engine import GroundProgramEvaluator
 from ..errors import SolverLimitError
 from .grounding import ground_program
 from .programs import NormalProgram
@@ -59,9 +60,19 @@ def stable_models_ground(
     """Enumerate all stable models of a ground normal program."""
     if not program.is_ground:
         raise ValueError("stable_models_ground expects a ground program")
-    wfm = well_founded_model(program)
+    # One compiled evaluator serves the well-founded computation and every
+    # candidate check below: the reduct's least model is recomputed per
+    # candidate by counter propagation, without rebuilding program objects.
+    evaluator = GroundProgramEvaluator(program)
+    wfm = well_founded_model(program, evaluator=evaluator)
+
+    def stable(candidate: frozenset[Atom]) -> bool:
+        if not is_classical_model(program, candidate):
+            return False
+        return evaluator.reduct_least_model(candidate) == candidate
+
     if wfm.is_total:
-        if is_stable_model_lp(program, wfm.true):
+        if stable(wfm.true):
             yield wfm.true
         return
     undefined = sorted(wfm.undefined, key=lambda atom: atom.sort_key())
@@ -74,7 +85,7 @@ def stable_models_ground(
     for size in range(len(undefined) + 1):
         for extra in combinations(undefined, size):
             candidate = frozenset(base | set(extra))
-            if is_stable_model_lp(program, candidate):
+            if stable(candidate):
                 yield candidate
 
 

@@ -20,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.atoms import Atom
+from ..engine import GroundProgramEvaluator
 from .programs import NormalProgram
-from .reduct import gelfond_lifschitz_reduct, least_model
 
 __all__ = ["WellFoundedModel", "well_founded_model"]
 
@@ -48,23 +48,33 @@ class WellFoundedModel:
         return "false"
 
 
-def _gamma(program: NormalProgram, atoms: frozenset[Atom]) -> frozenset[Atom]:
-    return least_model(gelfond_lifschitz_reduct(program, atoms))
+def well_founded_model(
+    program: NormalProgram,
+    evaluator: GroundProgramEvaluator | None = None,
+) -> WellFoundedModel:
+    """Compute the well-founded model of a ground normal program.
 
-
-def well_founded_model(program: NormalProgram) -> WellFoundedModel:
-    """Compute the well-founded model of a ground normal program."""
+    The program is compiled once into a
+    :class:`~repro.engine.seminaive.GroundProgramEvaluator`; every ``Γ``
+    application of the alternating fixpoint is then a single linear
+    counter-propagation pass over the (implicit) reduct instead of a
+    materialise-and-rescan loop.  Callers that already hold an evaluator for
+    *program* can pass it to skip the compilation.
+    """
     if not program.is_ground:
         raise ValueError("well_founded_model expects a ground program")
+    if evaluator is None:
+        evaluator = GroundProgramEvaluator(program)
+    gamma = evaluator.reduct_least_model
     herbrand = program.herbrand_base()
     true: frozenset[Atom] = frozenset()
     while True:
-        upper = _gamma(program, true)
-        next_true = _gamma(program, upper)
+        upper = gamma(true)
+        next_true = gamma(upper)
         if next_true == true:
             break
         true = next_true
-    upper = _gamma(program, true)
+    upper = gamma(true)
     false = herbrand - upper
     undefined = upper - true
     return WellFoundedModel(true, frozenset(false), frozenset(undefined))

@@ -19,9 +19,10 @@ from typing import Iterable, Sequence
 
 from ..core.atoms import Atom, apply_substitution
 from ..core.database import Database
-from ..core.homomorphism import AtomIndex, extend_homomorphisms, ground_matches
+from ..core.homomorphism import AtomIndex, extend_homomorphisms
 from ..core.interpretation import Interpretation
 from ..core.rules import NTGD, RuleSet
+from ..engine import compile_rule, enumerate_matches
 
 __all__ = [
     "immediate_consequences",
@@ -55,10 +56,9 @@ def immediate_consequences(
     current_index = AtomIndex(current)
     produced: set[Atom] = set()
     for rule in rules:
-        for match in ground_matches(
-            rule.body, current_index, negative_against=oracle_index
+        for assignment in enumerate_matches(
+            compile_rule(rule), current_index, negative_against=oracle_index
         ):
-            assignment = match.as_dict()
             for head_atom in rule.head:
                 for extension in extend_homomorphisms(
                     [head_atom], oracle_index, partial=assignment

@@ -22,6 +22,7 @@ from ..core.interpretation import Interpretation
 from ..core.queries import ConjunctiveQuery
 from ..core.rules import NTGD, RuleSet
 from ..core.terms import Constant, Term
+from ..engine import EngineStatistics
 from .generator import GenerationStatistics, generate_candidate_models
 from .stability import find_smaller_reduct_model
 from .universe import Universe
@@ -52,6 +53,11 @@ class StableModelEngine:
         Convenience knobs used when *universe* is not given explicitly.
     max_states:
         Budget for the candidate generator (per enumeration).
+
+    After an enumeration, :attr:`statistics` holds the candidate-generator
+    counters and :attr:`engine_statistics` the evaluation-engine counters
+    (compiled rules, join tuples scanned, hash indexes built) accumulated by
+    the stability checks.
     """
 
     database: Database
@@ -61,6 +67,7 @@ class StableModelEngine:
     max_nulls: int = 1
     max_states: int = 500_000
     statistics: GenerationStatistics = field(default_factory=GenerationStatistics)
+    engine_statistics: EngineStatistics = field(default_factory=EngineStatistics)
 
     def __post_init__(self) -> None:
         if not isinstance(self.rules, RuleSet):
@@ -85,7 +92,12 @@ class StableModelEngine:
         """``SMS(D, Σ)`` restricted to the engine's universe."""
         for candidate in self.candidate_models():
             if (
-                find_smaller_reduct_model(candidate, self.database, self.rules)
+                find_smaller_reduct_model(
+                    candidate,
+                    self.database,
+                    self.rules,
+                    statistics=self.engine_statistics,
+                )
                 is None
             ):
                 yield candidate

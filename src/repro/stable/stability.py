@@ -26,10 +26,11 @@ from typing import Iterable, Optional, Sequence
 
 from ..core.atoms import Atom, apply_substitution
 from ..core.database import Database
-from ..core.homomorphism import AtomIndex, extend_homomorphisms, ground_matches
+from ..core.homomorphism import AtomIndex, extend_homomorphisms
 from ..core.interpretation import Interpretation
 from ..core.modelcheck import is_model
 from ..core.rules import NTGD, RuleSet
+from ..engine import EngineStatistics, compile_rule, enumerate_matches
 from ..errors import SolverLimitError
 
 __all__ = [
@@ -52,11 +53,14 @@ def find_smaller_reduct_model(
     database: Database,
     rules: RuleSet | Sequence[NTGD],
     max_states: int = _DEFAULT_MAX_STATES,
+    statistics: Optional[EngineStatistics] = None,
 ) -> Optional[frozenset[Atom]]:
     """Search for ``s < p`` satisfying ``τ(D) ∧ τ(Σ)`` inside the candidate.
 
     Returns the positive part of a strictly smaller reduct model, or ``None``
     when the candidate is stable (w.r.t. the second condition of SM[D, Σ]).
+    Rule bodies are evaluated through the engine's compiled join plans;
+    *statistics* (optional) accumulates the engine counters of the search.
     """
     full = _as_positive_part(candidate)
     base = frozenset(database.atoms)
@@ -66,14 +70,17 @@ def find_smaller_reduct_model(
         return None
     full_index = AtomIndex(full)
     rule_list = list(rules)
+    compiled = [compile_rule(rule, statistics=statistics) for rule in rule_list]
     visited: set[frozenset[Atom]] = set()
 
     def violated_trigger(current_index: AtomIndex):
-        for rule in rule_list:
-            for match in ground_matches(
-                rule.body, current_index, negative_against=full_index
+        for rule, compiled_rule in zip(rule_list, compiled):
+            for assignment in enumerate_matches(
+                compiled_rule,
+                current_index,
+                negative_against=full_index,
+                statistics=statistics,
             ):
-                assignment = match.as_dict()
                 satisfied = next(
                     extend_homomorphisms(
                         list(rule.head), current_index, partial=assignment

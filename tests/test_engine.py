@@ -1,0 +1,386 @@
+"""Unit tests for the repro.engine subsystem.
+
+Covers the multi-key :class:`RelationIndex` (access patterns, lazy hash-index
+construction, delta tracking), the storage backends (memory and sqlite3
+equivalence), the join planner (bound-connectivity / smallest-relation-first
+ordering) and the semi-naive fixpoint driver (equivalence with a naive
+reference evaluation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_program
+from repro.core.atoms import Atom, Predicate
+from repro.core.terms import Constant, Variable
+from repro.engine import (
+    EngineStatistics,
+    GroundProgramEvaluator,
+    MemoryBackend,
+    RelationIndex,
+    SQLiteBackend,
+    compile_rule,
+    enumerate_matches,
+    fixpoint,
+    order_body,
+)
+from repro.errors import SolverLimitError
+from repro.lp.programs import NormalProgram, NormalRule
+from repro.lp.skolem import skolemize
+
+
+edge = Predicate("edge", 2)
+path = Predicate("path", 2)
+node = Predicate("node", 1)
+a, b, c, d = (Constant(n) for n in "abcd")
+X, Y, Z = (Variable(n) for n in "XYZ")
+
+
+def chain_atoms(n: int) -> list[Atom]:
+    constants = [Constant(f"v{i}") for i in range(n + 1)]
+    return [edge(constants[i], constants[i + 1]) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# RelationIndex
+# ---------------------------------------------------------------------------
+
+
+class TestRelationIndex:
+    def test_basic_set_semantics(self):
+        index = RelationIndex([edge(a, b), edge(b, c)])
+        assert len(index) == 2
+        assert edge(a, b) in index
+        assert edge(a, c) not in index
+        assert not index.add(edge(a, b))  # duplicate
+        assert index.add(edge(a, c))
+        assert index.atoms() == frozenset({edge(a, b), edge(b, c), edge(a, c)})
+
+    def test_candidates_by_predicate(self):
+        index = RelationIndex([edge(a, b), node(a)])
+        assert set(index.candidates(edge)) == {edge(a, b)}
+        assert set(index.candidates(node)) == {node(a)}
+        assert list(index.candidates(path)) == []
+        assert index.count(edge) == 1
+
+    def test_candidates_for_bound_first_position(self):
+        index = RelationIndex([edge(a, b), edge(a, c), edge(b, c)])
+        # Pattern edge(a, X): position 0 bound by a constant.
+        found = index.candidates_for(edge(a, X))
+        assert set(found) == {edge(a, b), edge(a, c)}
+
+    def test_candidates_for_bound_by_assignment(self):
+        index = RelationIndex([edge(a, b), edge(b, c), edge(c, d)])
+        found = index.candidates_for(edge(X, Y), {X: b})
+        assert set(found) == {edge(b, c)}
+        # Both positions bound -> exact lookup.
+        found = index.candidates_for(edge(X, Y), {X: c, Y: d})
+        assert set(found) == {edge(c, d)}
+
+    def test_candidates_for_unbound_falls_back_to_scan(self):
+        atoms = [edge(a, b), edge(b, c)]
+        index = RelationIndex(atoms)
+        assert set(index.candidates_for(edge(X, Y))) == set(atoms)
+
+    def test_hash_indexes_are_lazy_and_maintained(self):
+        stats = EngineStatistics()
+        index = RelationIndex([edge(a, b), edge(b, c)], statistics=stats)
+        assert stats.index_builds == 0
+        index.candidates_for(edge(a, X))
+        assert stats.index_builds == 1
+        # Same access pattern again: no rebuild.
+        index.candidates_for(edge(b, X))
+        assert stats.index_builds == 1
+        # Incremental maintenance on insertion.
+        index.add(edge(a, d))
+        assert set(index.candidates_for(edge(a, X))) == {edge(a, b), edge(a, d)}
+        assert stats.index_builds == 1
+
+    def test_compact_frees_history_but_keeps_future_deltas(self):
+        index = RelationIndex([edge(a, b)])
+        tick = index.tick()
+        index.add(edge(b, c))
+        index.compact(tick)  # forget everything before tick
+        assert list(index.added_since(tick)) == [edge(b, c)]
+        with pytest.raises(ValueError, match="compacted"):
+            index.added_since(0)
+        # Compacting beyond the log end clamps; subsequent adds still tracked.
+        index.compact(index.tick())
+        index.add(edge(c, d))
+        assert list(index.added_since(index.tick() - 1)) == [edge(c, d)]
+
+    def test_delta_tracking(self):
+        index = RelationIndex([edge(a, b)])
+        tick = index.tick()
+        assert list(index.added_since(tick)) == []
+        index.add(edge(b, c))
+        index.add(edge(b, c))  # duplicate: not logged twice
+        index.add(edge(c, d))
+        assert list(index.added_since(tick)) == [edge(b, c), edge(c, d)]
+        assert list(index.added_since(index.tick())) == []
+        # added_since(0) replays everything, including construction atoms.
+        assert list(index.added_since(0)) == [edge(a, b), edge(b, c), edge(c, d)]
+
+
+# ---------------------------------------------------------------------------
+# Storage backends
+# ---------------------------------------------------------------------------
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend_factory", [MemoryBackend, SQLiteBackend])
+    def test_backend_contract(self, backend_factory):
+        backend = backend_factory()
+        assert backend.insert(edge(a, b))
+        assert not backend.insert(edge(a, b))
+        assert backend.insert(node(a))
+        assert edge(a, b) in backend
+        assert edge(b, a) not in backend
+        assert len(backend) == 2
+        assert set(backend) == {edge(a, b), node(a)}
+        assert set(backend.atoms_of(edge)) == {edge(a, b)}
+        assert backend.count(edge) == 1
+        assert set(backend.predicates()) == {edge, node}
+
+    def test_sqlite_roundtrips_function_terms_and_nulls(self):
+        from repro.core.terms import FunctionTerm, Null
+
+        backend = SQLiteBackend()
+        fancy = edge(FunctionTerm("f", (a, FunctionTerm("g", (b,)))), Null("n1"))
+        assert backend.insert(fancy)
+        assert fancy in backend
+        (stored,) = list(backend)
+        assert stored == fancy
+
+    def test_sqlite_persists_across_connections(self, tmp_path):
+        path = str(tmp_path / "facts.db")
+        first = SQLiteBackend(path)
+        first.insert(edge(a, b))
+        first.insert(node(c))
+        first.close()
+        reopened = SQLiteBackend(path)
+        assert set(reopened) == {edge(a, b), node(c)}
+        assert not reopened.insert(edge(a, b))  # dedup survives reopen
+
+    def test_sqlite_decoder_rejects_tampered_rows(self):
+        backend = SQLiteBackend()
+        backend.insert(node(a))
+        backend._connection.execute(
+            "UPDATE facts SET args = ?",
+            ("().__class__.__bases__[0].__subclasses__()",),
+        )
+        with pytest.raises(ValueError, match="malformed term encoding"):
+            list(backend)
+
+    def test_sqlite_backed_index_matches_memory_backed_fixpoint(self):
+        program = skolemize(
+            parse_program(
+                """
+                e(X, Y) -> p(X, Y)
+                e(X, Y), p(Y, Z) -> p(X, Z)
+                """
+            )
+        )
+        facts = chain_atoms(6)
+        facts = [Atom(Predicate("e", 2), atom.terms) for atom in facts]
+        memory = fixpoint(program, facts)
+        sqlite_index = RelationIndex(backend=SQLiteBackend())
+        out_of_core = fixpoint(program, facts, index=sqlite_index)
+        assert memory.atoms() == out_of_core.atoms()
+
+
+# ---------------------------------------------------------------------------
+# Join planner
+# ---------------------------------------------------------------------------
+
+
+class TestPlanner:
+    def test_compile_rule_splits_and_caches(self):
+        rule = parse_program("e(X, Y), not q(X) -> p(X)")[0]
+        compiled = compile_rule(rule)
+        assert [atom.predicate.name for atom in compiled.positive] == ["e"]
+        assert [atom.predicate.name for atom in compiled.negative] == ["q"]
+        assert compile_rule(rule) is compiled  # memoised per rule object
+
+    def test_order_prefers_bound_literal(self):
+        # body: big(X), link(X, Y) with Y already bound -> link first.
+        big = Predicate("big", 1)
+        link = Predicate("link", 2)
+        rule = NormalRule(node(X), (big(X), link(X, Y)))
+        compiled = compile_rule(rule)
+        index = RelationIndex([big(Constant(f"c{i}")) for i in range(10)])
+        index.update([link(a, b)])
+        plan = order_body(compiled, index=index, bound=frozenset({Y}))
+        # literal 1 (link) has a bound position, literal 0 (big) has none.
+        assert plan[0] == 1
+
+    def test_order_prefers_smaller_relation(self):
+        small = Predicate("small", 1)
+        large = Predicate("large", 1)
+        rule = NormalRule(node(X), (large(X), small(X)))
+        compiled = compile_rule(rule)
+        index = RelationIndex([large(Constant(f"l{i}")) for i in range(20)])
+        index.update([small(a)])
+        plan = order_body(compiled, index=index)
+        assert plan[0] == 1  # small/1 joins first
+
+    def test_enumerate_matches_transitive_join(self):
+        rule = NormalRule(path(X, Z), (edge(X, Y), edge(Y, Z)))
+        index = RelationIndex([edge(a, b), edge(b, c), edge(c, d)])
+        found = {
+            (assignment[X], assignment[Z])
+            for assignment in enumerate_matches(compile_rule(rule), index)
+        }
+        assert found == {(a, c), (b, d)}
+
+    def test_enumerate_matches_checks_negatives(self):
+        blocked = Predicate("blocked", 1)
+        rule = NormalRule(node(X), (edge(X, Y),), (blocked(X),))
+        index = RelationIndex([edge(a, b), edge(b, c), blocked(a)])
+        found = {assignment[X] for assignment in enumerate_matches(compile_rule(rule), index)}
+        assert found == {b}
+
+    def test_delta_restriction(self):
+        rule = NormalRule(path(X, Z), (edge(X, Y), edge(Y, Z)))
+        index = RelationIndex([edge(a, b), edge(b, c), edge(c, d)])
+        # Restrict literal 0 to a delta of just edge(b, c): only (b, d) joins.
+        found = {
+            (assignment[X], assignment[Z])
+            for assignment in enumerate_matches(
+                compile_rule(rule), index, delta=[edge(b, c)], delta_position=0
+            )
+        }
+        assert found == {(b, d)}
+
+
+# ---------------------------------------------------------------------------
+# Semi-naive fixpoint vs naive reference
+# ---------------------------------------------------------------------------
+
+
+def naive_fixpoint(program, facts):
+    """Reference least-fixpoint: full re-evaluation every round (the seed way)."""
+    from repro.core.homomorphism import AtomIndex, extend_homomorphisms
+
+    derived = set(facts)
+    for rule in program:
+        if rule.is_fact and rule.head.is_ground:
+            derived.add(rule.head)
+    index = AtomIndex(derived)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program:
+            if rule.is_fact:
+                continue
+            for assignment in extend_homomorphisms(list(rule.positive_body), index):
+                head = rule.substitute(assignment).head
+                if head.is_ground and head not in derived:
+                    derived.add(head)
+                    index.add(head)
+                    changed = True
+    return frozenset(derived)
+
+
+TRANSITIVE_CLOSURE = NormalProgram(
+    (
+        NormalRule(path(X, Y), (edge(X, Y),)),
+        NormalRule(path(X, Z), (edge(X, Y), path(Y, Z))),
+    )
+)
+
+FAMILY_PROGRAM = skolemize(
+    parse_program(
+        """
+        person(X) -> exists Y. hasParent(X, Y)
+        hasParent(X, Y) -> ancestor(X, Y)
+        hasParent(X, Y), ancestor(Y, Z) -> ancestor(X, Z)
+        """
+    )
+)
+
+
+class TestSemiNaive:
+    def test_matches_naive_on_transitive_closure(self):
+        facts = chain_atoms(12)
+        semi = fixpoint(TRANSITIVE_CLOSURE, facts).atoms()
+        assert semi == naive_fixpoint(TRANSITIVE_CLOSURE, facts)
+        # n edges -> n*(n+1)/2 paths.
+        assert sum(1 for atom in semi if atom.predicate == path) == 12 * 13 // 2
+
+    def test_matches_naive_on_family_ontology_with_skolems(self):
+        person = Predicate("person", 1)
+        facts = [person(Constant(name)) for name in ("alice", "bob", "carol")]
+        semi = fixpoint(FAMILY_PROGRAM, facts, ignore_negation=True).atoms()
+        assert semi == naive_fixpoint(FAMILY_PROGRAM, facts)
+
+    def test_no_rederivation(self):
+        stats = EngineStatistics()
+        facts = chain_atoms(8)
+        fixpoint(TRANSITIVE_CLOSURE, facts, statistics=stats)
+        paths = 8 * 9 // 2
+        # Every derivation is counted once: path tuples plus nothing else.
+        assert stats.triggers_fired == paths
+
+    def test_on_derive_callback(self):
+        seen = []
+        fixpoint(
+            TRANSITIVE_CLOSURE,
+            chain_atoms(3),
+            on_derive=lambda atom, rule, assignment: seen.append((atom, rule)),
+        )
+        assert len(seen) == 3 * 4 // 2
+        assert all(isinstance(rule, NormalRule) for _, rule in seen)
+
+    def test_max_atoms_budget(self):
+        with pytest.raises(SolverLimitError, match="too many"):
+            fixpoint(
+                TRANSITIVE_CLOSURE,
+                chain_atoms(20),
+                max_atoms=30,
+                limit_message="too many atoms",
+            )
+
+    def test_bodyless_rules_fire_once(self):
+        program = NormalProgram((NormalRule(node(a)), NormalRule(path(X, Y), (edge(X, Y),))))
+        result = fixpoint(program, [edge(a, b)]).atoms()
+        assert result == {node(a), edge(a, b), path(a, b)}
+
+
+# ---------------------------------------------------------------------------
+# GroundProgramEvaluator
+# ---------------------------------------------------------------------------
+
+
+class TestGroundProgramEvaluator:
+    def test_least_model_matches_reference(self):
+        program = NormalProgram(
+            (
+                NormalRule(node(a)),
+                NormalRule(node(b), (node(a),)),
+                NormalRule(node(c), (node(d),)),  # never fires
+            )
+        )
+        assert GroundProgramEvaluator(program).least_model() == {node(a), node(b)}
+
+    def test_reduct_least_model_blocks_rules(self):
+        p, q, r = (Predicate(n, 0)() for n in "pqr")
+        program = NormalProgram(
+            (
+                NormalRule(p),
+                NormalRule(q, (p,), (r,)),  # q <- p, not r
+                NormalRule(r, (p,), (q,)),  # r <- p, not q
+            )
+        )
+        evaluator = GroundProgramEvaluator(program)
+        # Reduct w.r.t. {q}: rule for r is blocked, rule for q survives.
+        assert evaluator.reduct_least_model({q}) == {p, q}
+        # Reduct w.r.t. {} keeps both negative rules.
+        assert evaluator.reduct_least_model(frozenset()) == {p, q, r}
+
+    def test_duplicate_body_atoms_handled(self):
+        p = Predicate("p", 0)()
+        q = Predicate("q", 0)()
+        program = NormalProgram((NormalRule(p), NormalRule(q, (p, p))))
+        assert GroundProgramEvaluator(program).least_model() == {p, q}

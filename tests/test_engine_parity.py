@@ -1,0 +1,231 @@
+"""Parity tests: the semi-naive rewire derives exactly the seed's atom sets.
+
+Each test pits the engine-backed implementation (chase, positive closure,
+relevant grounding, least model, well-founded model) against a naive reference
+evaluator written the way the seed code worked — full rescans, written-order
+bodies, no indexes — and asserts the results agree.  For chases of programs
+with existential variables the comparison is up to homomorphic equivalence
+(null names depend on firing order, which semi-naive evaluation legitimately
+changes); for Datalog programs and for grounding/least-model computation the
+atom sets must be identical.
+"""
+
+from __future__ import annotations
+
+from repro import parse_database, parse_program
+from repro.chase import oblivious_chase, restricted_chase
+from repro.core.homomorphism import AtomIndex, embeds, extend_homomorphisms, ground_matches
+from repro.generators import random_database
+from repro.lp.grounding import ground_program, positive_closure
+from repro.lp.programs import NormalProgram, NormalRule
+from repro.lp.reduct import gelfond_lifschitz_reduct, least_model
+from repro.lp.skolem import skolemize
+from repro.lp.wfs import well_founded_model
+
+
+# ---------------------------------------------------------------------------
+# Naive reference implementations (the seed's evaluation strategy)
+# ---------------------------------------------------------------------------
+
+
+def naive_restricted_chase_atoms(database, rules):
+    """The seed's restricted chase: full rescan of all matches every pass."""
+    from repro.core.atoms import apply_substitution
+    from repro.core.terms import NullFactory
+
+    atoms = set(database.atoms)
+    index = AtomIndex(atoms)
+    nulls = NullFactory(prefix="n")
+    progress = True
+    while progress:
+        progress = False
+        for rule in rules:
+            for match in list(ground_matches(rule.body, index)):
+                assignment = match.as_dict()
+                if next(
+                    extend_homomorphisms(list(rule.head), index, partial=assignment),
+                    None,
+                ) is not None:
+                    continue
+                extended = dict(assignment)
+                for variable in sorted(rule.existential_variables, key=lambda v: v.name):
+                    extended[variable] = nulls.fresh()
+                added = tuple(apply_substitution(atom, extended) for atom in rule.head)
+                if any(atom not in atoms for atom in added):
+                    progress = True
+                atoms.update(added)
+                index.update(added)
+    return frozenset(atoms)
+
+
+def naive_positive_closure(program, facts):
+    derived = set(facts)
+    for rule in program:
+        if rule.is_fact and rule.head.is_ground:
+            derived.add(rule.head)
+    index = AtomIndex(derived)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program:
+            if rule.is_fact:
+                continue
+            for assignment in extend_homomorphisms(list(rule.positive_body), index):
+                head = rule.substitute(assignment).head
+                if head.is_ground and head not in derived:
+                    derived.add(head)
+                    index.add(head)
+                    changed = True
+    return frozenset(derived)
+
+
+def naive_ground_program(program, facts):
+    closure = naive_positive_closure(program, facts)
+    index = AtomIndex(closure)
+    rules = [NormalRule(atom) for atom in sorted(facts, key=lambda a: a.sort_key())]
+    for rule in program:
+        if rule.is_fact:
+            if rule.head.is_ground:
+                rules.append(rule)
+            continue
+        for assignment in extend_homomorphisms(list(rule.positive_body), index):
+            instance = rule.substitute(assignment)
+            if instance.is_ground:
+                rules.append(instance)
+    return {str(rule) for rule in rules}
+
+
+def naive_least_model(program):
+    derived = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in program:
+            if rule.head in derived:
+                continue
+            if all(atom in derived for atom in rule.positive_body):
+                derived.add(rule.head)
+                changed = True
+    return frozenset(derived)
+
+
+# ---------------------------------------------------------------------------
+# Fixtures: the programs named by the issue
+# ---------------------------------------------------------------------------
+
+TC_RULES = parse_program("e(X, Y), e(Y, Z) -> e(X, Z)")
+
+FAMILY_RULES = parse_program(
+    """
+    person(X) -> exists Y. hasParent(X, Y)
+    hasParent(X, Y) -> ancestor(X, Y)
+    hasParent(X, Y), ancestor(Y, Z) -> ancestor(X, Z)
+    """
+)
+
+FAMILY_DB = parse_database(
+    """
+    person(carol).
+    person(dave).
+    hasParent(carol, dave).
+    """
+)
+
+
+class TestChaseParity:
+    def test_datalog_chase_identical_atoms(self):
+        database = parse_database("e(a, b). e(b, c). e(c, d). e(d, e).")
+        expected = naive_restricted_chase_atoms(database, TC_RULES)
+        assert restricted_chase(database, TC_RULES).atoms == expected
+
+    def test_datalog_chase_identical_on_random_instances(self):
+        from repro.core.atoms import Predicate
+
+        for seed in (1, 2, 3):
+            database = random_database(
+                [Predicate("e", 2)], constants=8, facts=12, seed=seed
+            )
+            expected = naive_restricted_chase_atoms(database, TC_RULES)
+            assert restricted_chase(database, TC_RULES).atoms == expected
+
+    def test_existential_chase_homomorphically_equivalent(self):
+        expected = naive_restricted_chase_atoms(FAMILY_DB, FAMILY_RULES)
+        actual = restricted_chase(FAMILY_DB, FAMILY_RULES).atoms
+        assert embeds(actual, expected) and embeds(expected, actual)
+
+    def test_oblivious_chase_same_trigger_count(self):
+        # The oblivious chase fires every trigger exactly once, so the number
+        # of steps (and the constant part of the result) is order-independent.
+        database = parse_database("e(a, b). e(b, c). e(c, d).")
+        result = oblivious_chase(database, TC_RULES)
+        assert result.atoms == naive_restricted_chase_atoms(database, TC_RULES)
+
+
+class TestGroundingParity:
+    def test_positive_closure_identical_transitive_closure(self):
+        program = skolemize(TC_RULES)
+        facts = parse_database("e(a, b). e(b, c). e(c, d).").atoms
+        assert positive_closure(program, facts) == naive_positive_closure(program, facts)
+
+    def test_positive_closure_identical_family_ontology(self):
+        program = skolemize(FAMILY_RULES)
+        assert positive_closure(program, FAMILY_DB.atoms) == naive_positive_closure(
+            program, FAMILY_DB.atoms
+        )
+
+    def test_ground_program_identical_rule_sets(self):
+        program = skolemize(FAMILY_RULES)
+        grounded = ground_program(program, FAMILY_DB)
+        assert {str(rule) for rule in grounded} == naive_ground_program(
+            program, FAMILY_DB.atoms
+        )
+
+    def test_ground_program_identical_with_negation(self):
+        rules = parse_program(
+            """
+            person(X) -> exists Y. hasFather(X, Y)
+            hasFather(X, Y) -> sameAs(Y, Y)
+            hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X)
+            """
+        )
+        database = parse_database("person(alice). person(bea).")
+        program = skolemize(rules)
+        grounded = ground_program(program, database)
+        assert {str(rule) for rule in grounded} == naive_ground_program(
+            program, database.atoms
+        )
+
+
+class TestGroundSolverParity:
+    def _tc_ground(self):
+        program = skolemize(TC_RULES)
+        facts = parse_database("e(a, b). e(b, c). e(c, d).").atoms
+        return ground_program(program, facts)
+
+    def test_least_model_identical(self):
+        grounded = self._tc_ground()
+        reduct = gelfond_lifschitz_reduct(grounded, frozenset())
+        assert least_model(reduct) == naive_least_model(reduct)
+
+    def test_well_founded_model_on_negation_program(self):
+        # p <- not q ; q <- not p ; r <- p ; r <- q : p, q undefined, r undefined.
+        program = NormalProgram(
+            tuple(
+                NormalRule(head, positive, negative)
+                for head, positive, negative in [
+                    (_atom("p"), (), (_atom("q"),)),
+                    (_atom("q"), (), (_atom("p"),)),
+                    (_atom("r"), (_atom("p"),), ()),
+                    (_atom("r"), (_atom("q"),), ()),
+                ]
+            )
+        )
+        model = well_founded_model(program)
+        assert model.true == frozenset()
+        assert model.undefined == {_atom("p"), _atom("q"), _atom("r")}
+
+
+def _atom(name: str):
+    from repro.core.atoms import Predicate
+
+    return Predicate(name, 0)()
