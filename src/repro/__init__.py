@@ -66,6 +66,7 @@ from .core import (
     parse_rule,
     parse_term,
 )
+from .core.queries import certain_answers
 from .engine import (
     EngineStatistics,
     MemoryBackend,
@@ -81,8 +82,10 @@ from .errors import (
     ReproError,
     SafetyError,
     SolverLimitError,
+    StratificationError,
     UnsupportedClassError,
 )
+from .query import QueryPlan, QuerySession, compile_query_plan, magic_rewrite, stratify
 from .stable import (
     StableModelEngine,
     Universe,
@@ -118,6 +121,8 @@ __all__ = [
     "NullFactory",
     "ParseError",
     "Predicate",
+    "QueryPlan",
+    "QuerySession",
     "RelationIndex",
     "ReproError",
     "RuleSet",
@@ -125,6 +130,7 @@ __all__ = [
     "SafetyError",
     "SolverLimitError",
     "StableModelEngine",
+    "StratificationError",
     "Universe",
     "UnsupportedClassError",
     "Variable",
@@ -132,8 +138,12 @@ __all__ = [
     "brave_answers",
     "cautious_answers",
     "certain_answer",
+    "certain_answers",
+    "compile_query_plan",
     "enumerate_stable_models",
     "fixpoint",
+    "magic_rewrite",
+    "stratify",
     "is_stable_model",
     "parse_atom",
     "parse_database",

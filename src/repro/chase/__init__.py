@@ -7,7 +7,13 @@ operational stable model semantics of Baget et al. that the paper compares
 against in Section 1.
 """
 
-from .chase import ChaseResult, ChaseStep, oblivious_chase, restricted_chase
+from .chase import (
+    ChaseResult,
+    ChaseStep,
+    oblivious_chase,
+    query_driven_chase,
+    restricted_chase,
+)
 from .operational import is_operational_stable_model, operational_stable_models
 from .termination import chase_size_bound, chase_value_bound, stable_model_size_bound
 
@@ -19,6 +25,7 @@ __all__ = [
     "is_operational_stable_model",
     "oblivious_chase",
     "operational_stable_models",
+    "query_driven_chase",
     "restricted_chase",
     "stable_model_size_bound",
 ]

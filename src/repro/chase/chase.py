@@ -45,7 +45,13 @@ from ..engine import (
 )
 from ..errors import UnsupportedClassError
 
-__all__ = ["ChaseResult", "ChaseStep", "restricted_chase", "oblivious_chase"]
+__all__ = [
+    "ChaseResult",
+    "ChaseStep",
+    "restricted_chase",
+    "oblivious_chase",
+    "query_driven_chase",
+]
 
 
 @dataclass(frozen=True)
@@ -247,6 +253,50 @@ def restricted_chase(
         index.compact(index.tick())  # delta is materialised; free the log
     return ChaseResult(
         index.atoms(), tuple(steps), terminated=True, statistics=statistics
+    )
+
+
+def query_driven_chase(
+    database: Database,
+    rules: RuleSet | Sequence[NTGD],
+    query,
+    max_steps: Optional[int] = None,
+    require_termination_guarantee: bool = True,
+) -> ChaseResult:
+    """Chase only the rules the *query* transitively depends on.
+
+    An atom over a predicate ``p`` can only be produced by rules whose head
+    mentions ``p``, whose bodies in turn read predicates reachable backwards
+    from ``p`` — so for a positive TGD set, slicing away every rule whose head
+    predicate lies outside the query's dependency cone changes nothing about
+    the chase's restriction to the query predicates, while skipping all
+    null-inventing work on unrelated parts of the schema.  The certain
+    answers of a positive query over the sliced chase therefore coincide with
+    those over the full chase.
+
+    *query* is a :class:`~repro.core.queries.ConjunctiveQuery` (or anything
+    with a ``predicates`` attribute).  The database is **not** sliced: atoms
+    over irrelevant predicates stay in the result, they are simply never
+    joined by a sliced-away rule.
+    """
+    rule_set = _prepare(rules)
+    # Deferred import: the goal-directed subsystem builds on the chase layer
+    # in the layer map; its predicate-level cone analysis accepts NTGDs.
+    from ..query.stratify import relevant_predicates
+
+    relevant = relevant_predicates(rule_set, query.predicates)
+    sliced = RuleSet(
+        tuple(
+            rule
+            for rule in rule_set
+            if any(p in relevant for p in rule.head_predicates)
+        )
+    )
+    return restricted_chase(
+        database,
+        sliced,
+        max_steps=max_steps,
+        require_termination_guarantee=require_termination_guarantee,
     )
 
 

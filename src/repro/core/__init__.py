@@ -39,7 +39,7 @@ from .parser import (
     parse_rule,
     parse_term,
 )
-from .queries import ConjunctiveQuery, atom_query
+from .queries import ConjunctiveQuery, atom_query, certain_answers
 from .rules import NDTGD, NTGD, DisjunctiveRuleSet, RuleSet
 from .terms import Constant, FunctionTerm, Null, NullFactory, Variable
 
@@ -64,6 +64,7 @@ __all__ = [
     "active_triggers",
     "apply_substitution",
     "atom_query",
+    "certain_answers",
     "embeds",
     "extend_homomorphisms",
     "ground_matches",

@@ -20,7 +20,7 @@ from .homomorphism import AtomIndex, extend_homomorphisms
 from .interpretation import Interpretation
 from .terms import Constant, Term, Variable
 
-__all__ = ["ConjunctiveQuery", "atom_query"]
+__all__ = ["ConjunctiveQuery", "atom_query", "certain_answers"]
 
 
 @dataclass(frozen=True)
@@ -158,3 +158,38 @@ def atom_query(predicate: Predicate, *terms: Term) -> ConjunctiveQuery:
     """The atomic Boolean query ``exists Y  p(terms)`` (variables are projected)."""
     atom = Atom(predicate, tuple(terms))
     return ConjunctiveQuery((atom.positive(),), ())
+
+
+def certain_answers(
+    database,
+    rules,
+    query: ConjunctiveQuery,
+    *,
+    goal_directed: bool = True,
+    max_atoms: int | None = None,
+) -> frozenset[tuple[Term, ...]]:
+    """Certain answers of *query* over stratified Datalog¬ ``(D, Σ)``.
+
+    For existential-free stratified rules the unique stable model is the
+    perfect model, so the certain answers are the query's answers over it.
+    With ``goal_directed`` (default) the computation routes through the
+    magic-set rewriting of :mod:`repro.query` and touches only the part of
+    the model the query's bound arguments reach; otherwise the whole perfect
+    model is materialised first (the full-fixpoint baseline).
+
+    Raises :class:`~repro.errors.UnsupportedClassError` on existential rules
+    and :class:`~repro.errors.StratificationError` on unstratified programs —
+    use :func:`repro.stable.cautious_answers` (or a
+    :class:`repro.query.QuerySession` with its stable-model fallback) for the
+    general case.
+    """
+    # Deferred import: repro.query builds on core; this convenience entry
+    # point dispatches upward without making core depend on it at load time.
+    from ..query.session import compile_query_plan, full_fixpoint_answers
+    from .database import Database
+
+    if not goal_directed:
+        return full_fixpoint_answers(database, rules, query, max_atoms=max_atoms)
+    plan = compile_query_plan(rules, query)
+    atoms = database.atoms if isinstance(database, Database) else database
+    return plan.execute_for(atoms, query, max_atoms=max_atoms)

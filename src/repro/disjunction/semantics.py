@@ -60,9 +60,16 @@ def find_smaller_disjunctive_reduct_model(
 ) -> Optional[frozenset[Atom]]:
     """Search for ``s < p`` satisfying ``τ(D) ∧ τ(Σ)`` for a disjunctive Σ.
 
-    Identical in spirit to the non-disjunctive checker, except that a violated
-    trigger may be repaired by any disjunct: the branch set is the union over
-    disjuncts of the head extensions available inside the candidate.
+    Paper provenance: the stability condition of **Definition 1**, applied to
+    the disjunctive second-order formula ``SM[D, Σ]`` of **Section 6** —
+    the candidate is stable iff no strictly smaller predicate interpretation
+    ``s < p`` (with the candidate's atoms as the fixed ``p``) satisfies the
+    translated database and rules.  Identical in spirit to the
+    non-disjunctive checker (:func:`repro.stable.stability.find_smaller_reduct_model`),
+    except that a violated trigger may be repaired by any disjunct: the
+    branch set is the union over disjuncts of the head extensions available
+    inside the candidate.  This is the reference oracle against which the
+    **Lemma 13** disjunction-elimination translation is validated.
     """
     full = _positive(candidate)
     base = frozenset(database.atoms)
@@ -123,7 +130,12 @@ def is_disjunctive_stable_model(
     database: Database,
     rules: DisjunctiveRuleSet | Sequence[NDTGD],
 ) -> bool:
-    """Definition 1 lifted to NDTGDs (Section 6)."""
+    """**Definition 1** lifted to NDTGDs (**Section 6**).
+
+    The candidate is a disjunctive stable model of ``(D, Σ)`` iff it is a
+    classical model of ``τ(D) ∧ τ(Σ)`` (every trigger satisfied by *some*
+    disjunct) and no strictly smaller reduct model exists.
+    """
     interpretation = (
         candidate
         if isinstance(candidate, Interpretation)
@@ -188,7 +200,15 @@ def enumerate_disjunctive_stable_models(
     max_nulls: int = 1,
     max_states: int = 500_000,
 ) -> Iterator[Interpretation]:
-    """``SMS(D, Σ)`` for NDTGDs over a finite universe."""
+    """``SMS(D, Σ)`` for NDTGDs over a finite universe (**Section 6**).
+
+    A branching generator explores trigger repairs (branching additionally
+    over the chosen disjunct and the existential witnesses drawn from the
+    universe) and filters the fixpoints through the **Definition 1**
+    stability check.  It feeds the DATALOG¬,∨ query languages used as the
+    expressivity yardstick of **Theorems 15-18** (Section 7.2) and the
+    **Lemma 13** validation benchmarks.
+    """
     rule_set = _as_rules(rules)
     if universe is None:
         universe = Universe.for_database(database, max_nulls=max_nulls)

@@ -105,13 +105,30 @@ def consistent_answers(
     query: ConjunctiveQuery,
     max_facts: int = 16,
 ) -> frozenset[tuple[Term, ...]]:
-    """Certain answers of the query over every subset repair."""
+    """Certain answers of the query over every subset repair.
+
+    The query is compiled once into a goal-directed plan
+    (:func:`repro.query.compile_query_plan`) and executed against each
+    repair, so the per-repair cost is an indexed join seeded with the query's
+    constants rather than a fresh scan-and-backtrack per repair.  Queries
+    outside the plan compiler's fragment (nulls, function terms) fall back to
+    direct homomorphism evaluation per repair.
+    """
     repairs = subset_repairs(database, constraints, max_facts)
     if not repairs:
         return frozenset()
+    # Deferred import: encodings sit above repro.query in the layer map.
+    from ..errors import UnsupportedClassError
+    from ..query import compile_query_plan
+
+    try:
+        plan = compile_query_plan(RuleSet(()), query)
+        evaluate = plan.execute
+    except UnsupportedClassError:
+        evaluate = query.answers
     answers: Optional[set[tuple[Term, ...]]] = None
     for repair in repairs:
-        current = set(query.answers(repair))
+        current = set(evaluate(repair))
         answers = current if answers is None else answers & current
         if not answers:
             return frozenset()

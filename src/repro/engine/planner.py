@@ -25,6 +25,17 @@ backtracking: candidate atoms for each literal are fetched through
 ``candidates_for`` using the bound positions of the current prefix, which is
 what turns the written-order nested-loop of the seed implementation into an
 index nested-loop join.
+
+Paper provenance: the planner is the engine-side realisation of the
+homomorphism machinery of **Section 2** — matching a rule body (or query) is
+computing the homomorphisms of a conjunction of literals into an
+interpretation, ``q(I)``.  Every theorem-level computation rides on it: the
+trigger discovery of the chase (**Lemma 8** bounds), the relevant grounding
+of the Skolemization route (**Section 3.1**), the smaller-reduct-model
+search of the stability check (**Definition 1**), and the sideways
+information passing of the magic-set rewriting (:mod:`repro.query`), whose
+bound/free adornments are aligned with this module's greedy order so that
+rewritten programs probe exactly the hash indexes the planner would pick.
 """
 
 from __future__ import annotations
@@ -55,7 +66,12 @@ def _flexible_terms(atom: Atom) -> frozenset[Term]:
 
 @dataclass(frozen=True)
 class CompiledRule:
-    """A rule normalised for the engine: heads plus split, analysed body."""
+    """A rule normalised for the engine: heads plus split, analysed body.
+
+    Applicable to every rule shape of the paper — NTGDs (Section 2), normal
+    rules of the Skolemized programs (Section 3.1), and the ground rules of
+    reduct computations — via :func:`compile_rule`'s structural sniffing.
+    """
 
     heads: tuple[Atom, ...]
     positive: tuple[Atom, ...]
@@ -107,8 +123,10 @@ def compile_rule(
 ) -> CompiledRule:
     """Compile *rule* (NTGD or normal rule), memoised per rule object.
 
-    With ``ignore_negation`` the negative body is dropped — the shape needed
-    by the positive-closure computation of the relevant grounding.
+    With ``ignore_negation`` the negative body is dropped — the Σ⁺ shape
+    needed by the positive-closure computation of the relevant grounding
+    (Section 3.1) and by the positive-projection over-approximations used in
+    the chase termination arguments.
     """
     if isinstance(rule, CompiledRule):
         return rule
@@ -168,6 +186,11 @@ def order_body(
     relation cardinality (``index.count``) and finally by written position for
     determinism.  ``skip`` excludes a literal (the delta literal of a
     semi-naive round, which is matched up front).
+
+    The same most-bound-first discipline is mirrored by the sideways
+    information passing strategy of the magic-set rewriting
+    (:func:`repro.query.adornment.sips_order`), keeping the adornments of
+    rewritten programs aligned with the access patterns chosen here.
     """
     remaining = [i for i in range(len(compiled.positive)) if i != skip]
     bound_terms = set(bound)
@@ -199,7 +222,9 @@ def enumerate_matches(
 ) -> Iterator[Assignment]:
     """Enumerate assignments matching the compiled body into *index*.
 
-    With ``delta``/``delta_position`` the literal at that position is matched
+    This is ``q(I)`` of Section 2 — the homomorphisms of the body into the
+    indexed interpretation — executed as an index nested-loop join.  With
+    ``delta``/``delta_position`` the literal at that position is matched
     only against the delta atoms (the semi-naive restriction); the remaining
     literals join against the full index.  Negative body atoms are checked for
     absence against ``negative_against`` (default: *index*) once the positive

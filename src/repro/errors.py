@@ -69,3 +69,15 @@ class UnsupportedClassError(ReproError):
 
 class InconsistentProgramError(ReproError):
     """Raised when a program is expected to have a stable model but has none."""
+
+
+class StratificationError(ReproError):
+    """Raised when a program is not stratified w.r.t. default negation.
+
+    A normal program is stratified iff no cycle of the predicate dependency
+    graph contains a negative edge.  Goal-directed evaluation
+    (:mod:`repro.query`) requires stratification: it evaluates the rewritten
+    program stratum by stratum, testing negative literals against strata that
+    are already complete.  The offending predicates (one strongly connected
+    component through a negative edge) are listed in the message.
+    """

@@ -20,6 +20,7 @@ from ..encodings.qbf import QbfLiteral, TwoQbfExists
 __all__ = [
     "random_database",
     "random_weakly_acyclic_program",
+    "random_stratified_datalog",
     "random_2qbf",
     "random_certcol_instance",
 ]
@@ -78,6 +79,61 @@ def random_weakly_acyclic_program(
     program = RuleSet(tuple(rules))
     assert is_weakly_acyclic(program)
     return program
+
+
+def random_stratified_datalog(
+    layers: int = 3,
+    predicates_per_layer: int = 2,
+    negation_probability: float = 0.3,
+    recursion_probability: float = 0.5,
+    join_probability: float = 0.5,
+    seed: int = 0,
+) -> RuleSet:
+    """A random existential-free stratified Datalog¬ program.
+
+    The workload for the magic-set parity suite: binary predicates organised
+    in layers, rule bodies of one or two positive atoms (joins with
+    probability *join_probability*), negative literals only against strictly
+    lower layers (so the program is stratified by construction), and — with
+    probability *recursion_probability* per layer predicate — a positive
+    transitive-closure-style recursive rule, the shape magic rewriting has to
+    handle through recursive magic predicates.
+    """
+    rng = random.Random(seed)
+    layered: list[list[Predicate]] = []
+    for layer in range(layers):
+        layered.append(
+            [Predicate(f"s{layer}_{index}", 2) for index in range(predicates_per_layer)]
+        )
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    rules: list[NTGD] = []
+    for layer in range(1, layers):
+        lower = [p for previous in layered[:layer] for p in previous]
+        for target in layered[layer]:
+            body: list[Literal] = [Literal(Atom(rng.choice(lower), (x, y)), True)]
+            if rng.random() < join_probability:
+                body.append(Literal(Atom(rng.choice(lower), (y, z)), True))
+                head = Atom(target, (x, z))
+            else:
+                head = Atom(target, (x, y))
+            if rng.random() < negation_probability:
+                negated = rng.choice(lower)
+                arguments = (y, x) if len(body) == 1 else (z, x)
+                body.append(Literal(Atom(negated, arguments), False))
+            rules.append(NTGD(tuple(body), (head,), label=f"d{layer}_{target.name}"))
+            if rng.random() < recursion_probability:
+                step = rng.choice(lower)
+                rules.append(
+                    NTGD(
+                        (
+                            Literal(Atom(step, (x, y)), True),
+                            Literal(Atom(target, (y, z)), True),
+                        ),
+                        (Atom(target, (x, z)),),
+                        label=f"rec_{target.name}",
+                    )
+                )
+    return RuleSet(tuple(rules))
 
 
 def random_2qbf(

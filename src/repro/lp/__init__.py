@@ -8,7 +8,7 @@ semantics (EFWFS) used in the Section 1 comparison.
 """
 
 from .efwfs import InstantiationChoice, efwfs_entails, efwfs_models
-from .grounding import ground_program, positive_closure
+from .grounding import ground_program, ground_program_for_query, positive_closure
 from .programs import NormalProgram, NormalRule
 from .reduct import gelfond_lifschitz_reduct, is_classical_model, least_model
 from .skolem import skolemize, skolemize_rule
@@ -29,6 +29,7 @@ __all__ = [
     "efwfs_models",
     "gelfond_lifschitz_reduct",
     "ground_program",
+    "ground_program_for_query",
     "is_classical_model",
     "is_stable_model_lp",
     "least_model",

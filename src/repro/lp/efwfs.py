@@ -121,6 +121,14 @@ def efwfs_models(
 ) -> Iterator[InstantiationChoice]:
     """Enumerate (a bounded family of) EFWF models of ``(D, Σ)``.
 
+    Paper provenance: the instantiation family ``I(D, Σ)`` of the EFWFS
+    (**Section 1**, citing Gottlob et al. [21]) — constant unifications
+    (step 1) times ground-instance selections (step 2), each member paired
+    with its well-founded model.  The enumeration is bounded (finite pool,
+    ``max_instances_per_assignment``, ``max_programs``) because the full
+    family is infinite; the bounds are sufficient for the paper's two data
+    points (**Examples 2 and 3**).
+
     Parameters
     ----------
     extra_constants:
@@ -188,6 +196,11 @@ def efwfs_entails(
     A positive literal holds iff it is true in the well-founded model; a
     negative literal ``not p(t)`` holds iff ``p(t)`` is false (not merely
     undefined).  The query is entailed iff it holds in every enumerated model.
+
+    Paper provenance: **Section 1**'s comparison of the EFWFS against the
+    paper's SMS — this function reproduces the expected answer for
+    **Example 2** and the unexpected (over-cautious) one for **Example 3**,
+    the anomaly motivating the second-order semantics.
     """
     for choice in efwfs_models(database, rules, extra_constants, **kwargs):
         model = choice.model

@@ -25,10 +25,11 @@ from typing import Iterable, Optional
 
 from ..core.atoms import Atom
 from ..core.database import Database
+from ..core.queries import ConjunctiveQuery
 from ..engine import RelationIndex, compile_rule, enumerate_matches, fixpoint
 from .programs import NormalProgram, NormalRule
 
-__all__ = ["ground_program", "positive_closure"]
+__all__ = ["ground_program", "ground_program_for_query", "positive_closure"]
 
 _DEFAULT_MAX_ATOMS = 200_000
 
@@ -109,3 +110,38 @@ def ground_program(
             seen.add(key)
             unique.append(rule)
     return NormalProgram(tuple(unique))
+
+
+def ground_program_for_query(
+    program: NormalProgram,
+    query: ConjunctiveQuery,
+    database: Database | Iterable[Atom] = (),
+    max_atoms: Optional[int] = _DEFAULT_MAX_ATOMS,
+) -> NormalProgram:
+    """The relevant grounding restricted to the query's dependency cone.
+
+    Before grounding, the program is sliced to the rules whose head predicate
+    the query (transitively, through positive *and* negative body literals)
+    depends on — the rest of the program cannot influence the truth of any
+    query atom as long as the discarded part does not act as a global
+    constraint.  That proviso holds in particular for stratified programs
+    (splitting-set theorem): there the sliced grounding has exactly the
+    query-relevant fragment of the unique stable model, which is what the
+    goal-directed evaluator consumes.  For non-stratified programs whose
+    discarded rules may be unsatisfiable, use :func:`ground_program`.
+
+    Database facts over predicates outside the cone are dropped alongside.
+    """
+    # Deferred import: repro.query builds on this package (layer map:
+    # lp -> query is upward), so the slice helper is imported lazily.
+    from ..query.stratify import relevant_predicates
+
+    relevant = relevant_predicates(program, query.predicates)
+    sliced = NormalProgram(
+        tuple(rule for rule in program if rule.head.predicate in relevant)
+    )
+    facts = database.atoms if isinstance(database, Database) else frozenset(database)
+    kept_facts = frozenset(
+        atom for atom in facts if atom.predicate in relevant
+    )
+    return ground_program(sliced, kept_facts, max_atoms)

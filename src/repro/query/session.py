@@ -1,0 +1,419 @@
+"""Goal-directed query sessions: compiled plans, caches, invalidation.
+
+:class:`QuerySession` is the front door of the subsystem.  It holds a mutable
+set of facts plus a fixed rule set and answers conjunctive queries through
+
+* a **plan cache** — magic-set rewritten programs
+  (:class:`~repro.query.magic.MagicProgram`), memoised per *query shape*: the
+  key is ``(program digest, canonical query)`` where the canonical form
+  replaces every constant by a parameter, so ``path(c1, X)`` and
+  ``path(c7, X)`` share one compiled plan and differ only in the magic seed;
+* an **answer cache** — an LRU of answer sets keyed on the concrete query,
+  invalidated wholesale whenever the fact base mutates (plans survive
+  mutation: they depend on the rules only).
+
+For programs outside the stratified Datalog¬ fragment (existential rules,
+negative cycles) the session degrades gracefully: with ``fallback=True``
+(default) answers are computed by cautious reasoning over the stable models
+(:mod:`repro.stable`), so a session is always safe to use as the single entry
+point; ``strict=True`` callers get the rewriting error instead.
+
+:func:`full_fixpoint_answers` is the deliberately naive baseline — materialise
+the entire perfect model, then evaluate the query against it — kept as a
+public function because the parity suite and the benchmarks measure the magic
+rewriting against it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.queries import ConjunctiveQuery
+from ..core.terms import Constant, Term
+from ..engine.stats import EngineStatistics
+from ..errors import StratificationError, UnsupportedClassError
+from .magic import MagicProgram, canonicalize_query, magic_rewrite
+from .stratify import evaluate_stratified, normalize_rules, stratify
+
+__all__ = [
+    "QueryPlan",
+    "QuerySession",
+    "SessionStatistics",
+    "compile_query_plan",
+    "full_fixpoint_answers",
+    "try_goal_directed",
+]
+
+
+def program_digest(rules) -> str:
+    """A stable digest of a rule collection (order-insensitive)."""
+    normal = normalize_rules(rules)
+    payload = "\n".join(sorted(str(rule) for rule in normal))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _query_shape(query: ConjunctiveQuery):
+    """The canonical (constant-abstracted) shape of a query, hashable.
+
+    Structural (tuples of frozen literals), not a rendered string: renderings
+    conflate constants and variables that share a name.
+    """
+    literals, parameters, _ = canonicalize_query(query)
+    return (literals, query.answer_variables, parameters)
+
+
+def _query_shape_key(query: ConjunctiveQuery) -> str:
+    """Human-readable rendering of the canonical query shape (display only)."""
+    literals, _, _ = canonicalize_query(query)
+    body = ", ".join(str(literal) for literal in literals)
+    head = ",".join(variable.name for variable in query.answer_variables)
+    return f"?({head}) :- {body}"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A compiled, parameterised goal-directed plan for one query shape."""
+
+    digest: str
+    shape: str
+    program: MagicProgram
+
+    def execute(
+        self,
+        facts: Iterable[Atom],
+        constants: Optional[Tuple[Constant, ...]] = None,
+        *,
+        max_atoms: Optional[int] = None,
+        statistics: Optional[EngineStatistics] = None,
+    ) -> frozenset[Tuple[Term, ...]]:
+        """Run the plan over *facts*, seeding the given constant values."""
+        return self.program.evaluate(
+            facts, constants, max_atoms=max_atoms, statistics=statistics
+        )
+
+    def execute_for(
+        self,
+        facts: Iterable[Atom],
+        query: ConjunctiveQuery,
+        *,
+        max_atoms: Optional[int] = None,
+        statistics: Optional[EngineStatistics] = None,
+    ) -> frozenset[Tuple[Term, ...]]:
+        """Run the plan for a concrete *query* of this plan's shape."""
+        _, _, constants = canonicalize_query(query)
+        return self.execute(
+            facts, constants, max_atoms=max_atoms, statistics=statistics
+        )
+
+
+def compile_query_plan(rules, query: ConjunctiveQuery) -> QueryPlan:
+    """Compile a reusable goal-directed plan for ``(rules, query)``.
+
+    The plan is parameterised over the query's constants; reuse it for any
+    query of the same shape via :meth:`QueryPlan.execute_for`.
+    """
+    # Normalise once: digesting and rewriting both accept the normalised
+    # rules verbatim, so NTGD-to-NormalRule conversion happens a single time.
+    normal = normalize_rules(rules)
+    return QueryPlan(
+        digest=program_digest(normal),
+        shape=_query_shape_key(query),
+        program=magic_rewrite(normal, query),
+    )
+
+
+def full_fixpoint_answers(
+    database: Database | Iterable[Atom],
+    rules,
+    query: ConjunctiveQuery,
+    *,
+    max_atoms: Optional[int] = None,
+    statistics: Optional[EngineStatistics] = None,
+) -> frozenset[Tuple[Term, ...]]:
+    """The baseline: materialise the whole perfect model, then evaluate.
+
+    This is what every consumer did before the goal-directed subsystem
+    existed — a full stratified fixpoint paying for facts the query never
+    touches.  Kept public as the reference point for the magic-set parity
+    suite and the benchmarks.
+    """
+    facts = database.atoms if isinstance(database, Database) else database
+    index = evaluate_stratified(
+        rules, facts, max_atoms=max_atoms, statistics=statistics
+    )
+    return query.answers(index.atoms())
+
+
+@dataclass
+class SessionStatistics:
+    """Cache and engine counters of one :class:`QuerySession`."""
+
+    plan_hits: int = 0
+    plan_misses: int = 0
+    answer_hits: int = 0
+    answer_misses: int = 0
+    fallback_queries: int = 0
+    invalidations: int = 0
+    engine: EngineStatistics = field(default_factory=EngineStatistics)
+
+
+class QuerySession:
+    """A mutable fact base + fixed rules, answering queries goal-directedly.
+
+    Parameters
+    ----------
+    database:
+        Initial facts (a :class:`~repro.core.database.Database` or any
+        iterable of ground atoms).
+    rules:
+        A :class:`~repro.core.rules.RuleSet`, iterable of NTGDs, or a
+        :class:`~repro.lp.programs.NormalProgram`.
+    plan_cache_size / answer_cache_size:
+        LRU bounds for the two caches.
+    fallback:
+        When the rules fall outside stratified Datalog¬, answer through
+        cautious stable-model reasoning instead of raising (default).  The
+        extra keyword arguments accepted by :func:`repro.stable.cautious_answers`
+        can be supplied via *stable_options*.
+    max_atoms:
+        Optional budget threaded into every evaluation.
+
+    For stratified Datalog¬ the unique stable model is the perfect model, so
+    :meth:`answers` returns exactly the certain (= brave = perfect-model)
+    answers; :meth:`certain_answers` is an explicit alias.
+    """
+
+    def __init__(
+        self,
+        database: Database | Iterable[Atom] = (),
+        rules=(),
+        *,
+        plan_cache_size: int = 64,
+        answer_cache_size: int = 256,
+        fallback: bool = True,
+        stable_options: Optional[dict] = None,
+        max_atoms: Optional[int] = None,
+    ) -> None:
+        facts = database.atoms if isinstance(database, Database) else database
+        self._facts: set[Atom] = set(facts)
+        # Materialise one-shot iterables: the rules are re-walked on every
+        # plan compilation and by the fallback path.
+        from ..core.rules import RuleSet
+        from ..lp.programs import NormalProgram
+
+        self._rules = (
+            rules
+            if isinstance(rules, (RuleSet, NormalProgram))
+            else tuple(rules)
+        )
+        self._plan_cache_size = max(1, plan_cache_size)
+        self._answer_cache_size = max(1, answer_cache_size)
+        self._fallback = fallback
+        self._stable_options = dict(stable_options or {})
+        self._max_atoms = max_atoms
+        self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
+        self._answers: OrderedDict[ConjunctiveQuery, frozenset] = OrderedDict()
+        self._revision = 0
+        self.statistics = SessionStatistics()
+        # Decide once whether the rules are in the rewritable fragment; keep
+        # the normalised form so plan compilation does not re-normalise.
+        self._rewritable = True
+        self._scope_error: Optional[Exception] = None
+        self._normal: Optional[tuple] = None
+        try:
+            self._normal = normalize_rules(self._rules)
+            stratify(self._normal)
+        except (UnsupportedClassError, StratificationError) as error:
+            self._rewritable = False
+            self._scope_error = error
+        self._digest = program_digest_or_none(
+            self._normal if self._normal is not None else self._rules
+        )
+
+    # -------------------------------------------------------------- fact base
+    @property
+    def facts(self) -> frozenset[Atom]:
+        return frozenset(self._facts)
+
+    @property
+    def revision(self) -> int:
+        """Bumped on every mutation; answer-cache entries die with it."""
+        return self._revision
+
+    @property
+    def is_goal_directed(self) -> bool:
+        """``True`` iff queries run through magic-set rewriting."""
+        return self._rewritable
+
+    def add_facts(self, atoms: Iterable[Atom]) -> int:
+        """Insert facts; returns the number actually new.  Invalidates answers."""
+        added = 0
+        for atom in atoms:
+            if atom not in self._facts:
+                self._facts.add(atom)
+                added += 1
+        if added:
+            self._invalidate()
+        return added
+
+    def remove_facts(self, atoms: Iterable[Atom]) -> int:
+        """Remove facts; returns the number actually removed."""
+        removed = 0
+        for atom in atoms:
+            if atom in self._facts:
+                self._facts.discard(atom)
+                removed += 1
+        if removed:
+            self._invalidate()
+        return removed
+
+    def _invalidate(self) -> None:
+        self._revision += 1
+        self._answers.clear()
+        self.statistics.invalidations += 1
+
+    # ------------------------------------------------------------------ plans
+    def plan_for(self, query: ConjunctiveQuery) -> QueryPlan:
+        """The memoised compiled plan for the query's shape."""
+        if not self._rewritable:
+            assert self._scope_error is not None
+            raise self._scope_error
+        key = (self._digest or "", _query_shape(query))
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.statistics.plan_hits += 1
+            return plan
+        self.statistics.plan_misses += 1
+        assert self._normal is not None  # rewritable implies normalised
+        plan = QueryPlan(
+            digest=key[0],
+            shape=_query_shape_key(query),
+            program=magic_rewrite(self._normal, query),
+        )
+        self._plans[key] = plan
+        while len(self._plans) > self._plan_cache_size:
+            self._plans.popitem(last=False)
+        return plan
+
+    # ---------------------------------------------------------------- answers
+    def answers(self, query: ConjunctiveQuery) -> frozenset[Tuple[Term, ...]]:
+        """The certain answer tuples of *query* over the session state."""
+        # The query itself (frozen, structurally hashed) is the cache key;
+        # str(query) would conflate constants and variables sharing a name.
+        cache_key = query
+        cached = self._answers.get(cache_key)
+        if cached is not None:
+            self._answers.move_to_end(cache_key)
+            self.statistics.answer_hits += 1
+            return cached
+        self.statistics.answer_misses += 1
+        result = self._compute(query)
+        self._answers[cache_key] = result
+        while len(self._answers) > self._answer_cache_size:
+            self._answers.popitem(last=False)
+        return result
+
+    #: For stratified Datalog¬ there is a unique stable model, so the
+    #: perfect-model answers *are* the certain answers.
+    certain_answers = answers
+
+    def holds(self, query: ConjunctiveQuery) -> bool:
+        """Boolean entailment: does the query have an answer?"""
+        return bool(self.answers(query))
+
+    def _compute(self, query: ConjunctiveQuery) -> frozenset:
+        if self._rewritable:
+            try:
+                plan = self.plan_for(query)
+            except UnsupportedClassError:
+                # The *query* leaves the fragment (nulls, function terms)
+                # even though the rules are rewritable; the homomorphism
+                # matcher of the stable path evaluates such queries fine.
+                if not self._fallback:
+                    raise
+                return self._fallback_answers(query)
+            return plan.execute_for(
+                self._facts,
+                query,
+                max_atoms=self._max_atoms,
+                statistics=self.statistics.engine,
+            )
+        if not self._fallback:
+            assert self._scope_error is not None
+            raise self._scope_error
+        return self._fallback_answers(query)
+
+    def _fallback_answers(self, query: ConjunctiveQuery) -> frozenset:
+        self.statistics.fallback_queries += 1
+        # Deferred import: repro.stable sits above this subsystem in the
+        # layer map and imports nothing from it at module scope.
+        from ..stable import cautious_answers
+
+        database = Database.of(self._facts)
+        # goal_directed=False: the session already determined the rules are
+        # outside the rewritable fragment, so skip the doomed re-attempt.
+        return cautious_answers(
+            database,
+            _as_rule_set(self._rules),
+            query,
+            goal_directed=False,
+            **self._stable_options,
+        )
+
+
+def try_goal_directed(
+    database: Database | Iterable[Atom],
+    rules,
+    query: ConjunctiveQuery,
+    *,
+    max_atoms: Optional[int] = None,
+) -> Optional[frozenset]:
+    """Certain answers via magic sets, or ``None`` outside the fragment.
+
+    For existential-free stratified rules the unique stable model is the
+    perfect model, so the goal-directed answers are exactly the certain (and
+    brave) answers — this is the fast path :mod:`repro.stable` takes before
+    falling back to stable-model enumeration.  Returns ``None`` (instead of
+    raising) when the rules or the query leave the rewritable fragment.
+    """
+    try:
+        plan = compile_query_plan(rules, query)
+    except (UnsupportedClassError, StratificationError):
+        return None
+    facts = database.atoms if isinstance(database, Database) else database
+    return plan.execute_for(facts, query, max_atoms=max_atoms)
+
+
+def program_digest_or_none(rules) -> Optional[str]:
+    """A digest when the rules normalise, else a digest of their reprs."""
+    try:
+        return program_digest(rules)
+    except UnsupportedClassError:
+        payload = "\n".join(sorted(str(rule) for rule in rules))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _as_rule_set(rules):
+    from ..core.rules import RuleSet
+    from ..lp.programs import NormalProgram, NormalRule
+
+    if isinstance(rules, RuleSet):
+        return rules
+    if isinstance(rules, NormalProgram):
+        return rules.as_rule_set()
+    items = tuple(rules)
+    if any(isinstance(rule, NormalRule) for rule in items):
+        # A mixed/plain iterable of normal rules: NTGD-ify through the
+        # NormalProgram view, which the stable engine can evaluate.
+        return NormalProgram(
+            tuple(rule for rule in items if isinstance(rule, NormalRule))
+        ).as_rule_set().extend(
+            rule for rule in items if not isinstance(rule, NormalRule)
+        )
+    return RuleSet(items)

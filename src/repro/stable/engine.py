@@ -151,6 +151,28 @@ class StableModelEngine:
 # --------------------------------------------------------------------------
 # Convenience functions mirroring the paper's notation
 # --------------------------------------------------------------------------
+#
+# For existential-free *stratified* rule sets the stable model is unique (the
+# perfect model), so the convenience wrappers first try the goal-directed
+# magic-set path of :mod:`repro.query` — it answers selective queries without
+# enumerating candidate models at all — and only fall back to stable-model
+# enumeration outside that fragment.  Pass ``goal_directed=False`` to force
+# enumeration (e.g. when benchmarking the enumerator itself).  The fast path
+# is only taken when no enumeration knob (universe, extra_constants,
+# max_nulls, max_states) is supplied: those knobs shape the enumeration
+# itself (budget errors, restricted universes), and silently ignoring them
+# would change the behaviour callers asked for.
+
+
+def _goal_directed_answers(database, rules, query, kwargs):
+    if kwargs:
+        return None
+    # Deferred import: repro.query sits beside this package in the layer map
+    # and imports repro.stable lazily for its own fallback.
+    from ..query.session import try_goal_directed
+
+    return try_goal_directed(database, rules, query)
+
 
 def _engine(
     database: Database,
@@ -205,9 +227,18 @@ def certain_answer(
     database: Database,
     rules: RuleSet | Sequence[NTGD],
     query: ConjunctiveQuery,
+    goal_directed: bool = True,
     **kwargs,
 ) -> bool:
-    """``SMS-QAns``: does ``(D, Σ) |=_SMS q`` hold (cautious entailment)?"""
+    """``SMS-QAns``: does ``(D, Σ) |=_SMS q`` hold (cautious entailment)?
+
+    In the stratified Datalog¬ fragment this is answered goal-directedly
+    (unique stable model); otherwise by enumerating ``SMS(D, Σ)``.
+    """
+    if goal_directed:
+        answers = _goal_directed_answers(database, rules, query, kwargs)
+        if answers is not None:
+            return bool(answers)
     return _engine(database, rules, **kwargs).entails_cautiously(query)
 
 
@@ -215,9 +246,18 @@ def possible_answer(
     database: Database,
     rules: RuleSet | Sequence[NTGD],
     query: ConjunctiveQuery,
+    goal_directed: bool = True,
     **kwargs,
 ) -> bool:
-    """Brave entailment: some stable model satisfies the query."""
+    """Brave entailment: some stable model satisfies the query.
+
+    Coincides with cautious entailment in the stratified Datalog¬ fragment
+    (single stable model), where the goal-directed fast path applies.
+    """
+    if goal_directed:
+        answers = _goal_directed_answers(database, rules, query, kwargs)
+        if answers is not None:
+            return bool(answers)
     return _engine(database, rules, **kwargs).entails_bravely(query)
 
 
@@ -225,9 +265,14 @@ def cautious_answers(
     database: Database,
     rules: RuleSet | Sequence[NTGD],
     query: ConjunctiveQuery,
+    goal_directed: bool = True,
     **kwargs,
 ) -> frozenset[tuple[Term, ...]]:
-    """The certain answer tuples of a non-Boolean query."""
+    """The certain answer tuples of a non-Boolean query (Section 3.4)."""
+    if goal_directed:
+        answers = _goal_directed_answers(database, rules, query, kwargs)
+        if answers is not None:
+            return answers
     return _engine(database, rules, **kwargs).cautious_answers(query)
 
 
@@ -235,7 +280,12 @@ def brave_answers(
     database: Database,
     rules: RuleSet | Sequence[NTGD],
     query: ConjunctiveQuery,
+    goal_directed: bool = True,
     **kwargs,
 ) -> frozenset[tuple[Term, ...]]:
-    """The possible answer tuples of a non-Boolean query."""
+    """The possible answer tuples of a non-Boolean query (Section 7)."""
+    if goal_directed:
+        answers = _goal_directed_answers(database, rules, query, kwargs)
+        if answers is not None:
+            return answers
     return _engine(database, rules, **kwargs).brave_answers(query)

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "semantics_comparison.py",
     "consistent_query_answering.py",
     "family_ontology.py",
+    "goal_directed_queries.py",
 ]
 
 

@@ -1,0 +1,203 @@
+"""QuerySession caching/invalidation and the rewired consumer layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_database, parse_program, parse_query
+from repro.chase import query_driven_chase, restricted_chase
+from repro.core.atoms import Atom, Predicate
+from repro.core.terms import Constant
+from repro.encodings import DenialConstraint, consistent_answers, subset_repairs
+from repro.lp import ground_program, ground_program_for_query, skolemize
+from repro.query import QuerySession, compile_query_plan
+from repro.stable import cautious_answers, certain_answer
+
+RULES = parse_program(
+    """
+    edge(X, Y) -> path(X, Y)
+    edge(X, Z), path(Z, Y) -> path(X, Y)
+    """
+)
+
+DATABASE = parse_database("edge(a, b). edge(b, c). edge(x, y).")
+
+
+class TestPlanCache:
+    def test_plans_shared_across_constant_values(self):
+        session = QuerySession(DATABASE, RULES)
+        session.answers(parse_query("?(Y) :- path(a, Y)"))
+        session.answers(parse_query("?(Y) :- path(x, Y)"))
+        assert session.statistics.plan_misses == 1
+        assert session.statistics.plan_hits == 1
+
+    def test_distinct_shapes_get_distinct_plans(self):
+        session = QuerySession(DATABASE, RULES)
+        session.answers(parse_query("?(Y) :- path(a, Y)"))
+        session.answers(parse_query("?(X) :- path(X, c)"))
+        assert session.statistics.plan_misses == 2
+
+    def test_plan_cache_is_bounded(self):
+        session = QuerySession(DATABASE, RULES, plan_cache_size=1)
+        session.answers(parse_query("?(Y) :- path(a, Y)"))
+        session.answers(parse_query("?(X) :- path(X, c)"))
+        # Same shape as the first query, but its plan was evicted by the
+        # second shape (capacity 1) — it must be recompiled.
+        session.answers(parse_query("?(Y) :- path(b, Y)"))
+        assert session.statistics.plan_misses == 3
+
+
+class TestAnswerCache:
+    def test_repeated_query_hits_cache(self):
+        session = QuerySession(DATABASE, RULES)
+        query = parse_query("?(Y) :- path(a, Y)")
+        first = session.answers(query)
+        second = session.answers(query)
+        assert first == second
+        assert session.statistics.answer_hits == 1
+
+    def test_mutation_invalidates_answers(self):
+        session = QuerySession(DATABASE, RULES)
+        query = parse_query("?(Y) :- path(a, Y)")
+        before = session.answers(query)
+        assert Constant("z") not in {t[0] for t in before}
+        added = session.add_facts([Atom(Predicate("edge", 2), (Constant("c"), Constant("z")))])
+        assert added == 1
+        after = session.answers(query)
+        assert (Constant("z"),) in after
+        assert session.statistics.invalidations == 1
+
+    def test_removal_invalidates_answers(self):
+        session = QuerySession(DATABASE, RULES)
+        query = parse_query("?(Y) :- path(a, Y)")
+        assert session.answers(query)
+        removed = session.remove_facts(
+            [Atom(Predicate("edge", 2), (Constant("a"), Constant("b")))]
+        )
+        assert removed == 1
+        assert session.answers(query) == frozenset()
+
+    def test_noop_mutation_keeps_cache(self):
+        session = QuerySession(DATABASE, RULES)
+        query = parse_query("?(Y) :- path(a, Y)")
+        session.answers(query)
+        session.add_facts([Atom(Predicate("edge", 2), (Constant("a"), Constant("b")))])
+        session.answers(query)
+        assert session.statistics.invalidations == 0
+        assert session.statistics.answer_hits == 1
+
+
+class TestStableFastPath:
+    def test_certain_answer_fast_path_matches_enumeration(self):
+        query = parse_query("? :- path(a, c)")
+        assert certain_answer(DATABASE, RULES, query) is True
+        assert certain_answer(DATABASE, RULES, query, goal_directed=False) is True
+
+    def test_cautious_answers_fast_path_matches_enumeration(self):
+        query = parse_query("?(Y) :- path(a, Y)")
+        fast = cautious_answers(DATABASE, RULES, query)
+        slow = cautious_answers(DATABASE, RULES, query, goal_directed=False)
+        assert fast == slow
+
+
+class TestCqaPlanReuse:
+    def test_consistent_answers_matches_naive_reference(self):
+        manager = Predicate("manager", 1)
+        intern = Predicate("intern", 1)
+        from repro.core.terms import Variable
+
+        x = Variable("X")
+        constraint = DenialConstraint((manager(x), intern(x)))
+        database = parse_database(
+            "manager(ann). manager(eve). intern(ann). intern(bob)."
+        )
+        query = parse_query("?(X) :- manager(X)")
+        answers = consistent_answers(database, [constraint], query)
+        # Naive reference: evaluate the query per repair with the classic
+        # homomorphism matcher.
+        repairs = subset_repairs(database, [constraint])
+        expected = None
+        for repair in repairs:
+            current = set(query.answers(repair))
+            expected = current if expected is None else expected & current
+        assert answers == frozenset(expected)
+        assert answers == frozenset({(Constant("eve"),)})
+
+
+class TestQueryRelevantGrounding:
+    def test_sliced_grounding_preserves_query_atoms(self):
+        rules = parse_program(
+            """
+            edge(X, Y) -> path(X, Y)
+            edge(X, Z), path(Z, Y) -> path(X, Y)
+            colour(X) -> hue(X)
+            hue(X), not muted(X) -> vivid(X)
+            """
+        )
+        database = parse_database("edge(a, b). edge(b, c). colour(a). colour(b).")
+        program = skolemize(rules).with_facts(database.atoms)
+        query = parse_query("?(Y) :- path(a, Y)")
+
+        full = ground_program(program)
+        sliced = ground_program_for_query(program, query)
+        assert len(sliced) < len(full)
+
+        path = Predicate("path", 2)
+        # Compare the groundings directly: unique stable model each (the
+        # program is stratified), restricted to the query predicate.
+        from repro.lp import stable_models_ground
+
+        full_atoms = {
+            frozenset(a for a in model if a.predicate == path)
+            for model in stable_models_ground(full)
+        }
+        sliced_atoms = {
+            frozenset(a for a in model if a.predicate == path)
+            for model in stable_models_ground(sliced)
+        }
+        assert full_atoms == sliced_atoms
+
+
+class TestQueryDrivenChase:
+    def test_sliced_chase_agrees_on_query_answers(self):
+        rules = parse_program(
+            """
+            employee(X) -> exists D. worksIn(X, D)
+            worksIn(X, D) -> department(D)
+            customer(X) -> exists A. hasAccount(X, A)
+            hasAccount(X, A) -> account(A)
+            """
+        )
+        database = parse_database("employee(e1). employee(e2). customer(c1).")
+        query = parse_query("?(X) :- department(X)")
+
+        full = restricted_chase(database, rules)
+        sliced = query_driven_chase(database, rules, query)
+        assert sliced.terminated
+        # The sliced run must not invent account nulls at all.
+        assert all(
+            atom.predicate.name not in ("hasAccount", "account")
+            for step in sliced.steps
+            for atom in step.added
+        )
+        department = Predicate("department", 1)
+        full_departments = {a for a in full.atoms if a.predicate == department}
+        sliced_departments = {a for a in sliced.atoms if a.predicate == department}
+        assert len(full_departments) == len(sliced_departments)
+        assert len(sliced.steps) < len(full.steps)
+
+
+class TestFallbackBehaviour:
+    def test_strict_session_raises_outside_fragment(self):
+        rules = parse_program("person(X) -> exists Y. hasFather(X, Y)")
+        database = parse_database("person(alice).")
+        session = QuerySession(database, rules, fallback=False)
+        with pytest.raises(Exception):
+            session.answers(parse_query("?(X) :- person(X)"))
+
+    def test_compile_query_plan_is_reusable(self):
+        plan = compile_query_plan(RULES, parse_query("?(Y) :- path(a, Y)"))
+        from_a = plan.execute_for(DATABASE.atoms, parse_query("?(Y) :- path(a, Y)"))
+        from_x = plan.execute_for(DATABASE.atoms, parse_query("?(Y) :- path(x, Y)"))
+        assert from_a == frozenset({(Constant("b"),), (Constant("c"),)})
+        assert from_x == frozenset({(Constant("y"),)})
