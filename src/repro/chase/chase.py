@@ -40,6 +40,7 @@ from ..engine import (
     CompiledRule,
     EngineStatistics,
     RelationIndex,
+    RelationSnapshot,
     compile_rule,
     enumerate_matches,
 )
@@ -102,6 +103,25 @@ class ChaseResult:
             for atom in step.added
             for _ in atom.nulls
         )
+
+
+def _chase_index(
+    database, statistics: EngineStatistics
+) -> RelationIndex:
+    """The working index of a chase run.
+
+    A :class:`Database` is indexed from scratch (the historical behaviour).
+    A :class:`RelationSnapshot` — or a head :class:`RelationIndex`, which is
+    snapshotted here — is *forked*: the chase writes nulls and derived atoms
+    into a throwaway overlay sharing the base's already-built hash tables, so
+    chasing over a large shared base costs O(1) setup and never mutates the
+    caller's index.
+    """
+    if isinstance(database, RelationSnapshot):
+        return database.fork(statistics=statistics)
+    if isinstance(database, RelationIndex):
+        return database.snapshot().fork(statistics=statistics)
+    return RelationIndex(database.atoms, statistics=statistics)
 
 
 def _prepare(rules: RuleSet | Sequence[NTGD]) -> RuleSet:
@@ -189,7 +209,7 @@ def _round_matches(
 
 
 def restricted_chase(
-    database: Database,
+    database: Database | RelationIndex | RelationSnapshot,
     rules: RuleSet | Sequence[NTGD],
     max_steps: Optional[int] = None,
     require_termination_guarantee: bool = True,
@@ -199,7 +219,10 @@ def restricted_chase(
     Parameters
     ----------
     database:
-        The initial instance.
+        The initial instance — a :class:`Database`, or a
+        :class:`~repro.engine.index.RelationSnapshot` /
+        :class:`~repro.engine.index.RelationIndex` to chase *over* without
+        re-indexing or mutating it (derivations go to an overlay fork).
     rules:
         A set of positive TGDs.
     max_steps:
@@ -212,7 +235,7 @@ def restricted_chase(
     rule_set = _prepare(rules)
     _check_guarantee(rule_set, require_termination_guarantee, max_steps)
     statistics = EngineStatistics()
-    index = RelationIndex(database.atoms, statistics=statistics)
+    index = _chase_index(database, statistics)
     compiled = [compile_rule(rule, statistics=statistics) for rule in rule_set]
     prepared = {position: _PreparedRule.of(rule) for position, rule in enumerate(rule_set)}
     nulls = NullFactory(prefix="n")
@@ -257,7 +280,7 @@ def restricted_chase(
 
 
 def query_driven_chase(
-    database: Database,
+    database: Database | RelationIndex | RelationSnapshot,
     rules: RuleSet | Sequence[NTGD],
     query,
     max_steps: Optional[int] = None,
@@ -301,7 +324,7 @@ def query_driven_chase(
 
 
 def oblivious_chase(
-    database: Database,
+    database: Database | RelationIndex | RelationSnapshot,
     rules: RuleSet | Sequence[NTGD],
     max_steps: Optional[int] = None,
     require_termination_guarantee: bool = True,
@@ -315,7 +338,7 @@ def oblivious_chase(
     rule_set = _prepare(rules)
     _check_guarantee(rule_set, require_termination_guarantee, max_steps)
     statistics = EngineStatistics()
-    index = RelationIndex(database.atoms, statistics=statistics)
+    index = _chase_index(database, statistics)
     compiled = [compile_rule(rule, statistics=statistics) for rule in rule_set]
     prepared = {position: _PreparedRule.of(rule) for position, rule in enumerate(rule_set)}
     nulls = NullFactory(prefix="o")

@@ -7,7 +7,11 @@ loops.  It has five parts:
 
 * :mod:`~repro.engine.index` — :class:`RelationIndex`, a multi-key hash index
   over ground atoms with delta tracking (``added_since``), replacing the old
-  predicate-only ``AtomIndex``;
+  predicate-only ``AtomIndex``; versioned via :meth:`RelationIndex.snapshot`
+  (immutable :class:`RelationSnapshot` views sharing pattern tables
+  copy-on-write) and :meth:`RelationSnapshot.fork` (throwaway
+  :class:`OverlayRelationIndex` branches layering additions and tombstones
+  over a shared base);
 * :mod:`~repro.engine.planner` — join planning: :class:`CompiledRule` and the
   greedy bound-connectivity / smallest-relation-first literal ordering, plus
   the index-backed join executor :func:`enumerate_matches`;
@@ -23,8 +27,18 @@ See the "Engine internals" section of the top-level README for how the pieces
 fit together.
 """
 
-from .backend import MemoryBackend, SQLiteBackend, StorageBackend
-from .index import RelationIndex, is_flexible, match_atom, match_terms, resolve_term
+from .backend import MemoryBackend, OverlayBackend, SQLiteBackend, StorageBackend
+from .index import (
+    OverlayRelationIndex,
+    RelationIndex,
+    RelationSnapshot,
+    Tick,
+    VersionedRelationIndex,
+    is_flexible,
+    match_atom,
+    match_terms,
+    resolve_term,
+)
 from .planner import CompiledRule, compile_rule, enumerate_matches, order_body
 from .seminaive import GroundProgramEvaluator, fixpoint
 from .stats import EngineStatistics
@@ -34,9 +48,14 @@ __all__ = [
     "EngineStatistics",
     "GroundProgramEvaluator",
     "MemoryBackend",
+    "OverlayBackend",
+    "OverlayRelationIndex",
     "RelationIndex",
+    "RelationSnapshot",
     "SQLiteBackend",
     "StorageBackend",
+    "Tick",
+    "VersionedRelationIndex",
     "compile_rule",
     "enumerate_matches",
     "fixpoint",

@@ -1,22 +1,30 @@
 """Pluggable storage backends for :class:`~repro.engine.index.RelationIndex`.
 
 The evaluation engine separates *what* is stored (ground atoms, grouped by
-predicate) from *where* it is stored.  A backend only needs to support four
-operations — insert-with-dedup, membership, per-predicate scan and counting —
-and the rest of the engine (hash indexes, delta tracking, join planning) is
-built on top, so swapping the in-memory default for an out-of-core store is a
-one-line change at index construction time.
+predicate) from *where* it is stored.  A backend supports insertion and
+removal with dedup, membership, per-predicate scan and counting, plus two
+versioning operations — ``snapshot`` (a stable read-only view of the current
+contents) and the :class:`OverlayBackend` wrapper (a cheap writable branch
+over a shared base) — and the rest of the engine (hash indexes, delta
+tracking, join planning) is built on top, so swapping the in-memory default
+for an out-of-core store is a one-line change at index construction time.
 
-Two backends ship with the engine:
+Three backends ship with the engine:
 
-* :class:`MemoryBackend` — plain Python dict/set storage; the default, and the
-  right choice for everything that fits in RAM.
+* :class:`MemoryBackend` — per-predicate list/set storage with predicate-level
+  copy-on-write: ``snapshot()`` is O(#predicates) and shares each relation
+  until either side of the split writes it.  The default, and the right
+  choice for everything that fits in RAM.
 * :class:`SQLiteBackend` — stores the relation rows in a ``sqlite3`` database
   (stdlib, always available), keeping only a term-decoding cache in memory.
-  This is the seam where future PRs can plug genuinely remote storage; note
-  that the index layered on top still holds its lazily built hash tables (and
-  one round of delta log) in memory, so today it bounds — not eliminates —
-  resident atom copies.
+  SQLite rows cannot be shared copy-on-write, so its ``snapshot()`` returns a
+  *guarded* view that raises if the base mutates while the view is alive;
+  overlay forks (which never mutate the base) are the supported way to branch
+  a SQLite-backed instance.
+* :class:`OverlayBackend` — a writable layer over any read-only base view:
+  additions live in a private :class:`MemoryBackend`, removals of base atoms
+  become **tombstones**.  Creating one is O(1) regardless of base size, which
+  is what makes per-query and per-repair evaluation branches affordable.
 
 Terms are serialised with ``repr`` (all term classes have faithful, eval-able
 reprs) and decoded through a memoised table, so round-tripping through SQLite
@@ -32,14 +40,33 @@ from typing import Dict, Iterable, Iterator, List, Protocol, Sequence, Set
 from ..core.atoms import Atom, Predicate
 from ..core.terms import Constant, FunctionTerm, Null
 
-__all__ = ["StorageBackend", "MemoryBackend", "SQLiteBackend"]
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "OverlayBackend",
+]
 
 
 class StorageBackend(Protocol):
-    """The minimal storage contract the engine requires."""
+    """The storage contract the engine requires."""
 
     def insert(self, atom: Atom) -> bool:
         """Store *atom*; return ``True`` iff it was not already present."""
+        ...
+
+    def remove(self, atom: Atom) -> bool:
+        """Delete *atom*; return ``True`` iff it was present."""
+        ...
+
+    def snapshot(self) -> "StorageBackend":
+        """A stable read-only view of the current contents.
+
+        Backends with copy-on-write support return a view that stays valid
+        across later mutations of the base; others may return a guarded view
+        that raises once the base mutates.  Callers must treat the result as
+        read-only either way.
+        """
         ...
 
     def __contains__(self, atom: Atom) -> bool: ...
@@ -59,39 +86,225 @@ class StorageBackend(Protocol):
     def predicates(self) -> Iterable[Predicate]: ...
 
 
-class MemoryBackend:
-    """Default in-memory storage: a set for membership, lists for scans."""
+class _Relation:
+    """One predicate's rows: a scan list plus a membership set.
 
-    __slots__ = ("_by_predicate", "_all")
+    ``shared`` marks the relation as referenced by more than one backend
+    (after a ``snapshot``); a writer must copy it first — predicate-level
+    copy-on-write.
+    """
+
+    __slots__ = ("atoms", "members", "shared")
+
+    def __init__(
+        self, atoms: List[Atom] | None = None, members: Set[Atom] | None = None
+    ) -> None:
+        self.atoms: List[Atom] = atoms if atoms is not None else []
+        self.members: Set[Atom] = members if members is not None else set()
+        self.shared = False
+
+    def copy(self) -> "_Relation":
+        return _Relation(list(self.atoms), set(self.members))
+
+
+class MemoryBackend:
+    """Default in-memory storage with predicate-level copy-on-write.
+
+    Each predicate owns a :class:`_Relation` (insertion-ordered list for
+    scans, set for membership).  ``snapshot()`` shares every relation with
+    the new view and marks it ``shared``; the first subsequent write to a
+    shared relation — from either side — copies it, so a snapshot costs
+    O(#predicates) and later mutations cost O(|mutated relation|) once.
+    """
+
+    __slots__ = ("_rows", "_size")
 
     def __init__(self) -> None:
-        self._by_predicate: Dict[Predicate, List[Atom]] = {}
-        self._all: Set[Atom] = set()
+        self._rows: Dict[Predicate, _Relation] = {}
+        self._size = 0
+
+    def _writable(self, predicate: Predicate) -> _Relation:
+        relation = self._rows.get(predicate)
+        if relation is None:
+            relation = _Relation()
+            self._rows[predicate] = relation
+        elif relation.shared:
+            relation = relation.copy()
+            self._rows[predicate] = relation
+        return relation
 
     def insert(self, atom: Atom) -> bool:
-        if atom in self._all:
+        # Hot path: one dict probe plus one set probe in the common case.
+        relation = self._rows.get(atom.predicate)
+        if relation is None:
+            relation = _Relation()
+            self._rows[atom.predicate] = relation
+        elif atom in relation.members:
             return False
-        self._all.add(atom)
-        self._by_predicate.setdefault(atom.predicate, []).append(atom)
+        elif relation.shared:
+            relation = relation.copy()
+            self._rows[atom.predicate] = relation
+        relation.members.add(atom)
+        relation.atoms.append(atom)
+        self._size += 1
         return True
 
+    def remove(self, atom: Atom) -> bool:
+        relation = self._rows.get(atom.predicate)
+        if relation is None or atom not in relation.members:
+            return False
+        relation = self._writable(atom.predicate)
+        relation.members.discard(atom)
+        # O(|relation|): the scan list keeps insertion order, which the
+        # protocol promises (and deterministic chase/grounding runs rely
+        # on); retraction-heavy workloads should tombstone via an overlay
+        # fork instead of bulk-removing from a large head relation.
+        relation.atoms.remove(atom)
+        self._size -= 1
+        return True
+
+    def snapshot(self) -> "MemoryBackend":
+        clone = MemoryBackend()
+        for predicate, relation in self._rows.items():
+            relation.shared = True
+            clone._rows[predicate] = relation
+        clone._size = self._size
+        return clone
+
     def __contains__(self, atom: Atom) -> bool:
-        return atom in self._all
+        relation = self._rows.get(atom.predicate)
+        return relation is not None and atom in relation.members
 
     def __len__(self) -> int:
-        return len(self._all)
+        return self._size
 
     def __iter__(self) -> Iterator[Atom]:
-        return iter(self._all)
+        for relation in list(self._rows.values()):
+            yield from relation.atoms
 
     def atoms_of(self, predicate: Predicate) -> Sequence[Atom]:
-        return self._by_predicate.get(predicate, ())
+        relation = self._rows.get(predicate)
+        return relation.atoms if relation is not None else ()
 
     def count(self, predicate: Predicate) -> int:
-        return len(self._by_predicate.get(predicate, ()))
+        relation = self._rows.get(predicate)
+        return len(relation.atoms) if relation is not None else 0
 
     def predicates(self) -> Iterable[Predicate]:
-        return self._by_predicate.keys()
+        return self._rows.keys()
+
+
+class OverlayBackend:
+    """A writable branch layered over a shared read-only *base* view.
+
+    Additions live in a private :class:`MemoryBackend`; removing a base atom
+    records a **tombstone** instead of touching the base, so any number of
+    overlays can branch off one base concurrently and each costs O(1) to
+    create plus O(its own writes) to hold.  Re-inserting a tombstoned atom
+    clears the tombstone (the atom is visible through the base again).
+
+    The base must not be mutated while overlays over it are alive; take it
+    from ``snapshot()`` (copy-on-write backends keep such views valid, and
+    guarded views raise on violation).
+    """
+
+    __slots__ = ("_base", "_local", "_tombstones", "_tombstone_counts")
+
+    def __init__(self, base: StorageBackend) -> None:
+        self._base = base
+        self._local = MemoryBackend()
+        self._tombstones: Set[Atom] = set()
+        self._tombstone_counts: Dict[Predicate, int] = {}
+
+    # ------------------------------------------------------------ layering
+    @property
+    def base(self) -> StorageBackend:
+        return self._base
+
+    @property
+    def local(self) -> MemoryBackend:
+        return self._local
+
+    def has_tombstones(self, predicate: Predicate) -> bool:
+        return self._tombstone_counts.get(predicate, 0) > 0
+
+    def is_tombstoned(self, atom: Atom) -> bool:
+        return atom in self._tombstones
+
+    # ------------------------------------------------------------- protocol
+    def insert(self, atom: Atom) -> bool:
+        if atom in self._tombstones:
+            self._tombstones.discard(atom)
+            self._tombstone_counts[atom.predicate] -= 1
+            return True
+        if atom in self._base:
+            return False
+        return self._local.insert(atom)
+
+    def remove(self, atom: Atom) -> bool:
+        if self._local.remove(atom):
+            return True
+        if atom in self._tombstones:
+            return False
+        if atom in self._base:
+            self._tombstones.add(atom)
+            self._tombstone_counts[atom.predicate] = (
+                self._tombstone_counts.get(atom.predicate, 0) + 1
+            )
+            return True
+        return False
+
+    def snapshot(self) -> "OverlayBackend":
+        clone = OverlayBackend(self._base)
+        clone._local = self._local.snapshot()
+        clone._tombstones = set(self._tombstones)
+        clone._tombstone_counts = dict(self._tombstone_counts)
+        return clone
+
+    def __contains__(self, atom: Atom) -> bool:
+        if atom in self._local:
+            return True
+        return atom in self._base and atom not in self._tombstones
+
+    def __len__(self) -> int:
+        return len(self._base) - len(self._tombstones) + len(self._local)
+
+    def __iter__(self) -> Iterator[Atom]:
+        if self._tombstones:
+            for atom in self._base:
+                if atom not in self._tombstones:
+                    yield atom
+        else:
+            yield from self._base
+        yield from self._local
+
+    def atoms_of(self, predicate: Predicate) -> Sequence[Atom]:
+        base_atoms = self._base.atoms_of(predicate)
+        if self.has_tombstones(predicate):
+            base_atoms = [
+                atom for atom in base_atoms if atom not in self._tombstones
+            ]
+        local_atoms = self._local.atoms_of(predicate)
+        if not local_atoms:
+            return base_atoms
+        if not base_atoms:
+            return local_atoms
+        return list(base_atoms) + list(local_atoms)
+
+    def count(self, predicate: Predicate) -> int:
+        return (
+            self._base.count(predicate)
+            - self._tombstone_counts.get(predicate, 0)
+            + self._local.count(predicate)
+        )
+
+    def predicates(self) -> Iterable[Predicate]:
+        seen: Dict[Predicate, None] = {}
+        for predicate in self._base.predicates():
+            seen.setdefault(predicate, None)
+        for predicate in self._local.predicates():
+            seen.setdefault(predicate, None)
+        return seen.keys()
 
 
 #: Separator used between encoded terms of one row (never occurs in reprs,
@@ -128,6 +341,58 @@ def _term_from_ast(node: ast.expr):
     raise ValueError(f"malformed term encoding: {ast.dump(node)}")
 
 
+class _GuardedSnapshotView:
+    """A read-only view pinned to a backend's mutation counter.
+
+    Used by backends that cannot share rows copy-on-write: every read
+    verifies the base has not mutated since the view was taken, so a stale
+    view fails loudly instead of silently serving the wrong revision.
+    """
+
+    __slots__ = ("_backend", "_pinned")
+
+    def __init__(self, backend: "SQLiteBackend") -> None:
+        self._backend = backend
+        self._pinned = backend.mutation_count
+
+    def _check(self) -> "SQLiteBackend":
+        if self._backend.mutation_count != self._pinned:
+            raise RuntimeError(
+                "storage snapshot invalidated: the backing store mutated "
+                "after the snapshot was taken (SQLite snapshots are guarded "
+                "views, not copy-on-write clones)"
+            )
+        return self._backend
+
+    def insert(self, atom: Atom) -> bool:
+        raise TypeError("storage snapshots are read-only")
+
+    def remove(self, atom: Atom) -> bool:
+        raise TypeError("storage snapshots are read-only")
+
+    def snapshot(self) -> "_GuardedSnapshotView":
+        self._check()
+        return self
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._check()
+
+    def __len__(self) -> int:
+        return len(self._check())
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._check())
+
+    def atoms_of(self, predicate: Predicate) -> Sequence[Atom]:
+        return self._check().atoms_of(predicate)
+
+    def count(self, predicate: Predicate) -> int:
+        return self._check().count(predicate)
+
+    def predicates(self) -> Iterable[Predicate]:
+        return self._check().predicates()
+
+
 class SQLiteBackend:
     """Out-of-core storage keeping relation rows in a ``sqlite3`` database.
 
@@ -139,7 +404,9 @@ class SQLiteBackend:
 
     Rows live in a single ``facts`` table keyed by ``(predicate, args)``; the
     encoded form of each term is its ``repr``, decoded back on scan through a
-    memoised cache so repeated scans do not re-parse.
+    memoised cache so repeated scans do not re-parse.  ``snapshot()`` returns
+    a guarded view (see :class:`_GuardedSnapshotView`): branch a SQLite base
+    through :class:`OverlayBackend` rather than mutating it under a snapshot.
     """
 
     def __init__(self, path: str = ":memory:") -> None:
@@ -159,6 +426,12 @@ class SQLiteBackend:
             self._connection.execute("SELECT COUNT(*) FROM facts").fetchone()[0]
         )
         self._seq = self._size
+        self._mutations = 0
+
+    @property
+    def mutation_count(self) -> int:
+        """Bumped on every successful insert or remove (snapshot guard)."""
+        return self._mutations
 
     # ------------------------------------------------------------- encoding
     @staticmethod
@@ -189,8 +462,23 @@ class SQLiteBackend:
         if cursor.rowcount:
             self._size += 1
             self._seq += 1
+            self._mutations += 1
             return True
         return False
+
+    def remove(self, atom: Atom) -> bool:
+        cursor = self._connection.execute(
+            "DELETE FROM facts WHERE predicate = ? AND arity = ? AND args = ?",
+            (atom.predicate.name, atom.predicate.arity, self._encode_atom(atom)),
+        )
+        if cursor.rowcount:
+            self._size -= 1
+            self._mutations += 1
+            return True
+        return False
+
+    def snapshot(self) -> _GuardedSnapshotView:
+        return _GuardedSnapshotView(self)
 
     def __contains__(self, atom: Atom) -> bool:
         row = self._connection.execute(

@@ -1,19 +1,33 @@
-"""Multi-key relation indexing with delta tracking.
+"""Multi-key relation indexing with delta tracking and versioned storage.
 
 :class:`RelationIndex` is the storage-facing half of the evaluation engine.
 It generalises the predicate-only ``AtomIndex`` the codebase started with in
-two directions:
+three directions:
 
 * **multi-key hash indexes** — for every *access pattern* (a predicate plus a
   set of argument positions that are bound at lookup time) the index lazily
   builds, on first use, a hash table from the bound-position values to the
-  matching atoms, and maintains it incrementally on insertion.  A lookup like
-  ``edge(a, X)`` therefore touches only the atoms whose first argument is
-  ``a`` instead of every ``edge`` atom;
+  matching atoms, and maintains it incrementally on insertion and removal.  A
+  lookup like ``edge(a, X)`` therefore touches only the atoms whose first
+  argument is ``a`` instead of every ``edge`` atom;
 * **delta tracking** — insertions are recorded in an append-only log, and
   ``added_since(tick)`` returns exactly the atoms added after a given
   :meth:`tick`.  This is what lets the semi-naive fixpoint driver and the
-  chase find *new* triggers without rescanning old ones.
+  chase find *new* triggers without rescanning old ones.  Ticks are tagged
+  with the **branch** that issued them (see :class:`Tick`): every index —
+  head or fork — has its own delta log, and feeding a tick from one branch
+  into another raises instead of silently returning the wrong delta;
+* **versioning** — :meth:`RelationIndex.snapshot` produces an immutable
+  :class:`RelationSnapshot` view that shares the already-built pattern hash
+  tables *copy-on-write* (a later head mutation copies only the mutated
+  relation's tables, leaving the snapshot's intact), and
+  :meth:`RelationSnapshot.fork` produces a throwaway
+  :class:`OverlayRelationIndex` branch whose writes go to an overlay
+  (additions plus tombstones) while reads fall through to the shared base
+  tables.  A fork costs O(1) to create no matter how large the base is,
+  which is what makes per-query, per-repair and per-chase evaluation
+  branches affordable (cf. ``QuerySession``, ``encodings.cqa``,
+  ``repro.chase``).
 
 The underlying tuple store is pluggable (see :mod:`repro.engine.backend`);
 hash indexes and the delta log always live in memory, they are access-path
@@ -27,15 +41,20 @@ without import cycles.
 
 from __future__ import annotations
 
+from itertools import count as _count
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom, Predicate
 from ..core.terms import Constant, FunctionTerm, Null, Term, Variable
-from .backend import MemoryBackend, StorageBackend
+from .backend import MemoryBackend, OverlayBackend, StorageBackend
 from .stats import EngineStatistics
 
 __all__ = [
     "RelationIndex",
+    "RelationSnapshot",
+    "OverlayRelationIndex",
+    "VersionedRelationIndex",
+    "Tick",
     "match_terms",
     "match_atom",
     "is_flexible",
@@ -119,8 +138,81 @@ def resolve_term(term: Term, assignment: Mapping[Term, Term]) -> Optional[Term]:
     return None  # pragma: no cover - exhaustive over term kinds
 
 
+#: Global branch-id source; every index (head or fork) draws a fresh id.
+_branch_ids = _count()
+
+
+class Tick(int):
+    """A delta-log high-water mark, tagged with the branch that issued it.
+
+    Behaves as a plain ``int`` (ordering, arithmetic — though arithmetic
+    results degrade to untagged ints).  ``added_since``/``compact`` reject a
+    tagged tick minted by a *different* branch: delta logs are per-branch,
+    and a tick from the parent means nothing in a fork (the fork's log
+    starts empty at the fork point).  Untagged plain ints (e.g. the literal
+    ``0``) are accepted for backward compatibility and interpreted against
+    the receiving branch's log.
+    """
+
+    # (no __slots__: CPython forbids nonempty slots on int subclasses)
+
+    def __new__(cls, value: int, branch: int) -> "Tick":
+        tick = super().__new__(cls, value)
+        tick.branch = branch
+        return tick
+
+
+class _PatternTable:
+    """One access pattern's hash table, with a copy-on-write share marker."""
+
+    __slots__ = ("buckets", "shared")
+
+    def __init__(
+        self, buckets: Optional[Dict[Tuple[Term, ...], List[Atom]]] = None
+    ) -> None:
+        self.buckets: Dict[Tuple[Term, ...], List[Atom]] = (
+            buckets if buckets is not None else {}
+        )
+        self.shared = False
+
+    def copy(self) -> "_PatternTable":
+        return _PatternTable(
+            {key: list(bucket) for key, bucket in self.buckets.items()}
+        )
+
+
+def _bound_key(
+    pattern: Atom, assignment: Mapping[Term, Term]
+) -> Tuple[Tuple[int, ...], Tuple[Term, ...]]:
+    """The (bound positions, key values) of *pattern* under *assignment*."""
+    positions: List[int] = []
+    key: List[Term] = []
+    for position, term in enumerate(pattern.terms):
+        value = resolve_term(term, assignment)
+        if value is not None:
+            positions.append(position)
+            key.append(value)
+    return tuple(positions), tuple(key)
+
+
+def _build_table(
+    backend: StorageBackend, predicate: Predicate, positions: Tuple[int, ...]
+) -> _PatternTable:
+    table = _PatternTable()
+    for atom in backend.atoms_of(predicate):
+        key = tuple(atom.terms[i] for i in positions)
+        table.buckets.setdefault(key, []).append(atom)
+    return table
+
+
 class RelationIndex:
-    """An indexed, delta-tracked set of ground atoms.
+    """An indexed, delta-tracked, versionable set of ground atoms.
+
+    This is the **mutable head** of a storage branch; :meth:`snapshot` splits
+    off an immutable :class:`RelationSnapshot` view and :meth:`fork` a
+    writable :class:`OverlayRelationIndex` branch.  ``VersionedRelationIndex``
+    is an alias for this class, used where the versioning surface is the
+    point.
 
     Parameters
     ----------
@@ -131,11 +223,21 @@ class RelationIndex:
         A pre-populated backend is adopted as-is; its existing atoms are
         replayed into the delta log so ``added_since(0)`` stays exhaustive.
     statistics:
-        Optional shared counters; the index reports lazily built hash indexes
-        and derived (newly inserted) tuples.
+        Optional shared counters; the index reports lazily built hash indexes,
+        derived/removed tuples, snapshots, forks, and pattern-table sharing.
     """
 
-    __slots__ = ("_backend", "_log", "_log_offset", "_patterns", "_by_predicate", "_stats")
+    __slots__ = (
+        "_backend",
+        "_log",
+        "_log_offset",
+        "_log_removals",
+        "_patterns",
+        "_pattern_positions",
+        "_stats",
+        "_branch",
+        "_version",
+    )
 
     def __init__(
         self,
@@ -144,39 +246,150 @@ class RelationIndex:
         backend: Optional[StorageBackend] = None,
         statistics: Optional[EngineStatistics] = None,
     ):
-        self._backend: StorageBackend = backend if backend is not None else MemoryBackend()
-        self._log: List[Atom] = []
-        self._log_offset: int = 0
-        #: (predicate, bound positions) -> {key values -> [atoms]}
-        self._patterns: Dict[
-            Tuple[Predicate, Tuple[int, ...]], Dict[Tuple[Term, ...], List[Atom]]
-        ] = {}
-        #: predicate -> the pattern entries that index it (for incremental upkeep)
-        self._by_predicate: Dict[
-            Predicate, List[Tuple[Tuple[int, ...], Dict[Tuple[Term, ...], List[Atom]]]]
-        ] = {}
-        self._stats = statistics
+        self._init_state(
+            backend if backend is not None else MemoryBackend(), statistics
+        )
         if backend is not None and len(backend):
             self._log.extend(backend)
         for atom in atoms:
             self.add(atom)
+
+    def _init_state(
+        self, backend: StorageBackend, statistics: Optional[EngineStatistics]
+    ) -> None:
+        self._backend: StorageBackend = backend
+        #: append-only delta log; removals blank entries to ``None`` in
+        #: place so outstanding ticks (positions) stay valid.
+        self._log: List[Optional[Atom]] = []
+        self._log_offset: int = 0
+        self._log_removals: int = 0
+        #: (predicate, bound positions) -> pattern hash table
+        self._patterns: Dict[Tuple[Predicate, Tuple[int, ...]], _PatternTable] = {}
+        #: predicate -> the bound-position tuples indexed for it
+        self._pattern_positions: Dict[Predicate, List[Tuple[int, ...]]] = {}
+        self._stats = statistics
+        self._branch: int = next(_branch_ids)
+        #: bumped on every successful mutation; snapshots pin a version
+        self._version: int = 0
 
     # -------------------------------------------------------------- mutation
     def add(self, atom: Atom) -> bool:
         """Insert *atom*; return ``True`` iff it was new."""
         if not self._backend.insert(atom):
             return False
+        self._version += 1
         self._log.append(atom)
         if self._stats is not None:
             self._stats.tuples_derived += 1
-        for positions, table in self._by_predicate.get(atom.predicate, ()):
-            key = tuple(atom.terms[i] for i in positions)
-            table.setdefault(key, []).append(atom)
+        self._note_added(atom)
         return True
+
+    def _note_added(self, atom: Atom) -> None:
+        position_lists = self._pattern_positions.get(atom.predicate)
+        if not position_lists:
+            return
+        for positions in position_lists:
+            table = self._writable_table(atom.predicate, positions)
+            key = tuple(atom.terms[i] for i in positions)
+            bucket = table.buckets.get(key)
+            if bucket is None:
+                table.buckets[key] = [atom]
+            else:
+                bucket.append(atom)
+
+    def remove(self, atom: Atom) -> bool:
+        """Delete *atom*; return ``True`` iff it was present.
+
+        Pattern hash tables are maintained incrementally (with copy-on-write
+        if shared with a snapshot), and the atom is withdrawn from the
+        retained delta log so it is never replayed by ``added_since``.
+
+        The log withdrawal scans the retained window (O(retained log));
+        callers doing bulk removals should ``compact(tick())`` first if
+        nothing still needs the pending delta (``QuerySession`` does, and
+        overlay forks start with an empty log).
+        """
+        if not self._backend.remove(atom):
+            return False
+        self._version += 1
+        if self._stats is not None:
+            self._stats.tuples_removed += 1
+        self._note_removed(atom)
+        try:
+            position = self._log.index(atom)
+        except ValueError:
+            pass  # already compacted away (or never logged on this branch)
+        else:
+            # Blank in place — splicing would shift every outstanding tick.
+            self._log[position] = None
+            self._log_removals += 1
+        return True
+
+    def _note_removed(self, atom: Atom) -> None:
+        for positions in self._pattern_positions.get(atom.predicate, ()):
+            table = self._writable_table(atom.predicate, positions)
+            key = tuple(atom.terms[i] for i in positions)
+            bucket = table.buckets.get(key)
+            if bucket is not None and atom in bucket:
+                bucket.remove(atom)
+                if not bucket:
+                    del table.buckets[key]
 
     def update(self, atoms: Iterable[Atom]) -> None:
         for atom in atoms:
             self.add(atom)
+
+    def _writable_table(
+        self, predicate: Predicate, positions: Tuple[int, ...]
+    ) -> _PatternTable:
+        """The pattern table, copied first if a snapshot still shares it."""
+        table = self._patterns[(predicate, positions)]
+        if table.shared:
+            table = table.copy()
+            self._patterns[(predicate, positions)] = table
+            if self._stats is not None:
+                self._stats.pattern_tables_copied += 1
+        return table
+
+    # ------------------------------------------------------------ versioning
+    @property
+    def version(self) -> int:
+        """Bumped on every successful mutation (snapshots pin a version)."""
+        return self._version
+
+    @property
+    def branch(self) -> int:
+        """The branch id stamped onto this index's ticks."""
+        return self._branch
+
+    def snapshot(self) -> "RelationSnapshot":
+        """An immutable view of the current contents.
+
+        The snapshot shares this head's already-built pattern hash tables
+        copy-on-write: a later mutation of relation ``p`` copies only ``p``'s
+        tables (the snapshot keeps the originals), so taking a snapshot is
+        O(#tables) and never rescans the stored atoms.
+        """
+        for table in self._patterns.values():
+            table.shared = True
+        if self._stats is not None:
+            self._stats.snapshots_taken += 1
+            self._stats.pattern_tables_shared += len(self._patterns)
+        return RelationSnapshot(
+            self, self._backend.snapshot(), dict(self._patterns), self._version
+        )
+
+    def fork(
+        self, *, statistics: Optional[EngineStatistics] = None
+    ) -> "OverlayRelationIndex":
+        """A throwaway writable branch over the current contents.
+
+        Equivalent to ``self.snapshot().fork(...)``; see
+        :class:`OverlayRelationIndex` for the overlay semantics.
+        """
+        return self.snapshot().fork(
+            statistics=statistics if statistics is not None else self._stats
+        )
 
     # ------------------------------------------------------------- set views
     def __contains__(self, atom: Atom) -> bool:
@@ -195,25 +408,44 @@ class RelationIndex:
         return self._backend.predicates()
 
     # -------------------------------------------------------- delta tracking
-    def tick(self) -> int:
-        """An opaque high-water mark for :meth:`added_since`."""
-        return self._log_offset + len(self._log)
+    def tick(self) -> Tick:
+        """An opaque high-water mark for :meth:`added_since`.
+
+        The returned tick is branch-tagged: it is only meaningful on the
+        index that issued it.  Forks start a fresh branch with an empty log,
+        so parent ticks do not transfer (and raise if used).
+        """
+        return Tick(self._log_offset + len(self._log), self._branch)
+
+    def _check_branch(self, tick: int, operation: str) -> None:
+        branch = getattr(tick, "branch", None)
+        if branch is not None and branch != self._branch:
+            raise ValueError(
+                f"{operation} called with a tick from branch {branch} on "
+                f"branch {self._branch}: delta ticks are per-branch and do "
+                "not transfer across snapshot/fork boundaries"
+            )
 
     def added_since(self, tick: int) -> Sequence[Atom]:
         """The atoms added after *tick*, in insertion order.
 
-        *tick* must not predate a :meth:`compact` call — compacted history is
-        gone and requesting it raises ``ValueError``.
+        *tick* must come from this branch (see :meth:`tick`) and must not
+        predate a :meth:`compact` call — compacted history is gone and
+        requesting it raises ``ValueError``.
         """
+        self._check_branch(tick, "added_since")
         if tick < self._log_offset:
             raise ValueError(
                 f"delta log compacted past tick {tick} (oldest retained: "
                 f"{self._log_offset})"
             )
-        return self._log[tick - self._log_offset:]
+        segment = self._log[tick - self._log_offset:]
+        if self._log_removals:
+            return [atom for atom in segment if atom is not None]
+        return segment
 
     def compact(self, tick: int) -> None:
-        """Forget the delta log before *tick*.
+        """Forget the delta log before *tick* (a tick of this branch).
 
         Fixpoint drivers call this once a round's delta has been fully
         consumed, so the log never holds more than one round of atoms — the
@@ -222,9 +454,14 @@ class RelationIndex:
         still reference atoms; drop the index, or avoid bound-position
         lookups, for truly memory-light scans.)
         """
+        self._check_branch(tick, "compact")
         if tick <= self._log_offset:
             return
         drop = min(tick, self._log_offset + len(self._log)) - self._log_offset
+        if self._log_removals:
+            self._log_removals -= sum(
+                1 for atom in self._log[:drop] if atom is None
+            )
         del self._log[:drop]
         self._log_offset += drop
 
@@ -249,6 +486,8 @@ class RelationIndex:
         are a superset filter — callers still run :func:`match_atom` — but for
         hash-indexed positions the filtering is exact.
         """
+        # Hot path (inner loop of every join): inlined bound-key computation
+        # and table fetch; subclasses with layered lookups override this.
         bound = assignment or {}
         positions: List[int] = []
         key: List[Term] = []
@@ -258,27 +497,271 @@ class RelationIndex:
                 positions.append(position)
                 key.append(value)
         if not positions:
-            return self.candidates(pattern.predicate)
-        table = self._ensure_pattern(pattern.predicate, tuple(positions))
-        return table.get(tuple(key), ())
+            return self._backend.atoms_of(pattern.predicate)
+        predicate = pattern.predicate
+        table = self._patterns.get((predicate, tuple(positions)))
+        if table is None:
+            table = self._ensure_pattern(predicate, tuple(positions))
+        return table.buckets.get(tuple(key), ())
+
+    def _lookup(
+        self,
+        predicate: Predicate,
+        positions: Tuple[int, ...],
+        key: Tuple[Term, ...],
+    ) -> Sequence[Atom]:
+        table = self._ensure_pattern(predicate, positions)
+        return table.buckets.get(key, ())
 
     def _ensure_pattern(
         self, predicate: Predicate, positions: Tuple[int, ...]
-    ) -> Dict[Tuple[Term, ...], List[Atom]]:
+    ) -> _PatternTable:
         table = self._patterns.get((predicate, positions))
         if table is None:
-            table = {}
-            for atom in self._backend.atoms_of(predicate):
-                key = tuple(atom.terms[i] for i in positions)
-                table.setdefault(key, []).append(atom)
+            table = _build_table(self._backend, predicate, positions)
             self._patterns[(predicate, positions)] = table
-            self._by_predicate.setdefault(predicate, []).append((positions, table))
+            self._pattern_positions.setdefault(predicate, []).append(positions)
             if self._stats is not None:
                 self._stats.index_builds += 1
         return table
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"RelationIndex({len(self)} atoms, "
+            f"{type(self).__name__}({len(self)} atoms, "
             f"{len(self._patterns)} access patterns)"
         )
+
+
+class RelationSnapshot:
+    """An immutable view of a :class:`RelationIndex` at one version.
+
+    The snapshot pins the backend contents (copy-on-write where the backend
+    supports it, guarded otherwise) and shares the head's pattern hash
+    tables; tables the head has not built yet are built on demand — on the
+    *head* while the head is still at the snapshot's version (so the work is
+    reused by future snapshots and maintained incrementally by head
+    mutations), and privately from the pinned backend view once the head has
+    moved on.
+
+    Snapshots answer the full read surface of an index (membership, scans,
+    ``candidates_for``, counts) and spawn writable branches via :meth:`fork`.
+    """
+
+    __slots__ = ("_source", "_backend", "_patterns", "_version", "_stats")
+
+    def __init__(
+        self,
+        source: Optional[RelationIndex],
+        backend: StorageBackend,
+        patterns: Dict[Tuple[Predicate, Tuple[int, ...]], _PatternTable],
+        version: int,
+    ) -> None:
+        self._source = source
+        self._backend = backend
+        self._patterns = patterns
+        self._version = version
+        self._stats = source._stats if source is not None else None
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def fork(
+        self, *, statistics: Optional[EngineStatistics] = None
+    ) -> "OverlayRelationIndex":
+        """A writable overlay branch over this snapshot (O(1) to create)."""
+        stats = statistics if statistics is not None else self._stats
+        if stats is not None:
+            stats.forks_created += 1
+        return OverlayRelationIndex(self, statistics=stats)
+
+    # ------------------------------------------------------------- set views
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._backend
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._backend)
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset(self._backend)
+
+    def predicates(self) -> Iterable[Predicate]:
+        return self._backend.predicates()
+
+    # ----------------------------------------------------------- access paths
+    def candidates(self, predicate: Predicate) -> Sequence[Atom]:
+        return self._backend.atoms_of(predicate)
+
+    def count(self, predicate: Predicate) -> int:
+        return self._backend.count(predicate)
+
+    def candidates_for(
+        self, pattern: Atom, assignment: Optional[Mapping[Term, Term]] = None
+    ) -> Sequence[Atom]:
+        positions, key = _bound_key(pattern, assignment or {})
+        if not positions:
+            return self.candidates(pattern.predicate)
+        return self._lookup(pattern.predicate, positions, key)
+
+    def _lookup(
+        self,
+        predicate: Predicate,
+        positions: Tuple[int, ...],
+        key: Tuple[Term, ...],
+    ) -> Sequence[Atom]:
+        table = self._ensure_pattern(predicate, positions)
+        return table.buckets.get(key, ())
+
+    def _ensure_pattern(
+        self, predicate: Predicate, positions: Tuple[int, ...]
+    ) -> _PatternTable:
+        table = self._patterns.get((predicate, positions))
+        if table is None:
+            source = self._source
+            if source is not None and source._version == self._version:
+                # The head is still at our version: build (or fetch) the
+                # table there so it persists across revisions, and share it.
+                table = source._ensure_pattern(predicate, positions)
+                table.shared = True
+                if self._stats is not None:
+                    self._stats.pattern_tables_shared += 1
+            else:
+                table = _build_table(self._backend, predicate, positions)
+                if self._stats is not None:
+                    self._stats.index_builds += 1
+            self._patterns[(predicate, positions)] = table
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RelationSnapshot({len(self)} atoms @ v{self._version}, "
+            f"{len(self._patterns)} access patterns)"
+        )
+
+
+class OverlayRelationIndex(RelationIndex):
+    """A writable branch: overlay additions/tombstones over a shared base.
+
+    Reads layer three sources: the base snapshot's shared pattern tables
+    (never copied, never rebuilt), a private overlay index over the branch's
+    own additions (proportional to the branch's writes), and a tombstone
+    filter for base atoms the branch removed.  Writes touch only the overlay,
+    so any number of branches can run against one base concurrently.
+
+    The branch has its own delta log starting empty at the fork point (the
+    base atoms are *not* replayed — semi-naive drivers scan the full index on
+    their first round anyway), and its own branch id: parent ticks raise in
+    :meth:`added_since`/:meth:`compact`.
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(
+        self,
+        base: RelationSnapshot,
+        *,
+        statistics: Optional[EngineStatistics] = None,
+    ) -> None:
+        self._base = base
+        self._init_state(OverlayBackend(base._backend), statistics)
+
+    @property
+    def base(self) -> RelationSnapshot:
+        return self._base
+
+    # -------------------------------------------------------------- mutation
+    def _note_added(self, atom: Atom) -> None:
+        # A resurrected tombstone is visible through the *base* tables again;
+        # only genuinely local additions belong in the overlay tables.
+        backend: OverlayBackend = self._backend  # type: ignore[assignment]
+        if atom in backend.local:
+            super()._note_added(atom)
+
+    def _note_removed(self, atom: Atom) -> None:
+        # Tombstoned base atoms are filtered at read time; the overlay tables
+        # only ever held local atoms, and the inherited upkeep is a no-op for
+        # anything else (the atom is simply absent from the local buckets).
+        super()._note_removed(atom)
+
+    # ----------------------------------------------------------- access paths
+    def candidates(self, predicate: Predicate) -> Sequence[Atom]:
+        # The overlay backend already merges base + local − tombstones.
+        return self._backend.atoms_of(predicate)
+
+    def candidates_for(
+        self, pattern: Atom, assignment: Optional[Mapping[Term, Term]] = None
+    ) -> Sequence[Atom]:
+        positions, key = _bound_key(pattern, assignment or {})
+        if not positions:
+            return self._backend.atoms_of(pattern.predicate)
+        return self._lookup(pattern.predicate, positions, key)
+
+    def _lookup(
+        self,
+        predicate: Predicate,
+        positions: Tuple[int, ...],
+        key: Tuple[Term, ...],
+    ) -> Sequence[Atom]:
+        backend: OverlayBackend = self._backend  # type: ignore[assignment]
+        # Predicates absent from the base (e.g. generated magic relations)
+        # are served purely by the overlay tables; consulting the base would
+        # build empty pattern tables on the shared head for them.
+        if self._base.count(predicate):
+            base_bucket = self._base._lookup(predicate, positions, key)
+        else:
+            base_bucket = ()
+        if base_bucket and backend.has_tombstones(predicate):
+            base_bucket = [
+                atom for atom in base_bucket if not backend.is_tombstoned(atom)
+            ]
+        if backend.local.count(predicate):
+            local_bucket = self._ensure_pattern(predicate, positions).buckets.get(
+                key, ()
+            )
+        else:
+            local_bucket = ()
+        if not local_bucket:
+            return base_bucket
+        if not base_bucket:
+            return local_bucket
+        return list(base_bucket) + list(local_bucket)
+
+    def _ensure_pattern(
+        self, predicate: Predicate, positions: Tuple[int, ...]
+    ) -> _PatternTable:
+        """A pattern table over the overlay-*local* atoms only.
+
+        Base atoms are served by the base snapshot's shared tables; the local
+        table is proportional to this branch's own writes, so building it is
+        never O(|base|).
+        """
+        table = self._patterns.get((predicate, positions))
+        if table is None:
+            backend: OverlayBackend = self._backend  # type: ignore[assignment]
+            table = _build_table(backend.local, predicate, positions)
+            self._patterns[(predicate, positions)] = table
+            self._pattern_positions.setdefault(predicate, []).append(positions)
+            if self._stats is not None:
+                self._stats.overlay_index_builds += 1
+        return table
+
+    def snapshot(self) -> RelationSnapshot:
+        """An immutable view of the overlay branch.
+
+        Overlay snapshots do not share pattern tables (the two-level base +
+        local layout does not transfer); lookups on the snapshot rebuild
+        privately from the pinned overlay view on demand.
+        """
+        if self._stats is not None:
+            self._stats.snapshots_taken += 1
+        snap = RelationSnapshot(None, self._backend.snapshot(), {}, self._version)
+        snap._stats = self._stats
+        return snap
+
+
+#: The canonical name for the versioned storage surface: a
+#: :class:`RelationIndex` head with ``snapshot()``/``fork()`` branching.
+VersionedRelationIndex = RelationIndex

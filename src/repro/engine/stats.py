@@ -30,19 +30,43 @@ class EngineStatistics:
     tuples_scanned:
         Candidate atoms inspected by the join matcher.
     index_builds:
-        Lazy hash-index constructions performed by :class:`RelationIndex`.
+        Lazy hash-index constructions performed by :class:`RelationIndex`
+        over full (base) relations — the O(|relation|) scans the versioned
+        storage layer exists to avoid repeating.
+    overlay_index_builds:
+        Lazy hash-index constructions over overlay-*local* atoms only (the
+        derived/hypothetical layer of a fork); proportional to a fork's own
+        writes, never to the base database.
     rules_compiled:
         Rule bodies run through the join planner.
     iterations:
         Semi-naive fixpoint rounds executed.
+    tuples_removed:
+        Atoms deleted from an index (tombstoned or physically removed).
+    snapshots_taken:
+        Immutable snapshot views created from a mutable head index.
+    forks_created:
+        Overlay branches created from a snapshot.
+    pattern_tables_shared:
+        Access-pattern hash tables handed to a snapshot/fork by reference
+        (no copy) instead of being rebuilt.
+    pattern_tables_copied:
+        Copy-on-write duplications of a shared pattern table, triggered by a
+        post-snapshot write to its relation.
     """
 
     triggers_fired: int = 0
     tuples_derived: int = 0
     tuples_scanned: int = 0
     index_builds: int = 0
+    overlay_index_builds: int = 0
     rules_compiled: int = 0
     iterations: int = 0
+    tuples_removed: int = 0
+    snapshots_taken: int = 0
+    forks_created: int = 0
+    pattern_tables_shared: int = 0
+    pattern_tables_copied: int = 0
 
     def merge(self, other: "EngineStatistics") -> None:
         """Accumulate the counters of *other* into this object."""

@@ -27,6 +27,7 @@ from .magic import MagicProgram, canonicalize_query, magic_rewrite
 from .session import (
     QueryPlan,
     QuerySession,
+    QueryStatistics,
     SessionStatistics,
     compile_query_plan,
     full_fixpoint_answers,
@@ -51,6 +52,7 @@ __all__ = [
     "MagicProgram",
     "QueryPlan",
     "QuerySession",
+    "QueryStatistics",
     "SessionStatistics",
     "Stratification",
     "adorn_atom",

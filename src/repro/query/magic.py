@@ -153,6 +153,10 @@ class MagicProgram:
         index = self.evaluate_index(
             facts, constants, max_atoms=max_atoms, statistics=statistics
         )
+        return self.collect_answers(index)
+
+    def collect_answers(self, index: RelationIndex) -> frozenset[Tuple[Term, ...]]:
+        """The answer tuples recorded in an evaluated index."""
         answers: Set[Tuple[Term, ...]] = set()
         for atom in index.candidates(self.goal.renamed):
             answer = atom.terms[: self.answer_arity]
@@ -182,6 +186,60 @@ class MagicProgram:
             max_atoms=max_atoms,
             statistics=statistics,
         )
+
+    def evaluate_on(
+        self,
+        base,
+        constants: Optional[Sequence[Constant]] = None,
+        *,
+        max_atoms: Optional[int] = None,
+        statistics: Optional[EngineStatistics] = None,
+    ) -> frozenset[Tuple[Term, ...]]:
+        """Run the plan over a *base* snapshot without re-indexing it.
+
+        *base* is a :class:`~repro.engine.index.RelationSnapshot` (or a head
+        index) already holding the database; only the magic seed is injected,
+        and all derivations go to a throwaway overlay fork sharing the base's
+        pattern tables.  The caller must guarantee the base contains no
+        predicate whose name embeds :attr:`infix` (the streaming
+        :meth:`evaluate` path filters such facts; here they are assumed
+        absent — :class:`~repro.query.session.QuerySession` checks).
+        """
+        index = evaluate_stratified(
+            self.rules,
+            (self.seed(constants),),
+            base=base,
+            stratification=self.stratification,
+            max_atoms=max_atoms,
+            statistics=statistics,
+        )
+        return self.collect_answers(index)
+
+    def evaluate_into(
+        self,
+        index: RelationIndex,
+        constants: Optional[Sequence[Constant]] = None,
+        *,
+        max_atoms: Optional[int] = None,
+        statistics: Optional[EngineStatistics] = None,
+    ) -> frozenset[Tuple[Term, ...]]:
+        """Run the plan inside an existing (typically overlay) index.
+
+        The index is mutated: magic/adorned/goal atoms are derived into it.
+        Used by consumers that prepared a branch themselves — e.g. CQA forks
+        one shared base per repair, tombstones the repair's removed facts,
+        and evaluates the plan into that fork.  The same infix caveat as
+        :meth:`evaluate_on` applies.
+        """
+        evaluate_stratified(
+            self.rules,
+            (self.seed(constants),),
+            index=index,
+            stratification=self.stratification,
+            max_atoms=max_atoms,
+            statistics=statistics,
+        )
+        return self.collect_answers(index)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return "\n".join(str(rule) for rule in self.rules)

@@ -1,16 +1,25 @@
 """Goal-directed query sessions: compiled plans, caches, invalidation.
 
 :class:`QuerySession` is the front door of the subsystem.  It holds a mutable
-set of facts plus a fixed rule set and answers conjunctive queries through
+fact base plus a fixed rule set and answers conjunctive queries through
 
 * a **plan cache** — magic-set rewritten programs
   (:class:`~repro.query.magic.MagicProgram`), memoised per *query shape*: the
   key is ``(program digest, canonical query)`` where the canonical form
   replaces every constant by a parameter, so ``path(c1, X)`` and
   ``path(c7, X)`` share one compiled plan and differ only in the magic seed;
-* an **answer cache** — an LRU of answer sets keyed on the concrete query,
-  invalidated wholesale whenever the fact base mutates (plans survive
-  mutation: they depend on the rules only).
+* a **persistent base index** — the facts live in one
+  :class:`~repro.engine.index.RelationIndex` head whose access-pattern hash
+  tables survive across queries *and revisions*; each query evaluates its
+  magic program into a throwaway overlay fork of the current revision's
+  snapshot, so an answer-cache miss costs O(relevant facts), never a fresh
+  O(|DB|) re-index of the fact base;
+* an **answer cache** — an LRU of answer sets keyed on the concrete query.
+  Invalidation is **predicate-level**: every cached answer carries the
+  dependency cone of its plan, and a mutation only evicts the answers whose
+  cone intersects the mutated predicates (the revision still advances and a
+  fresh snapshot is taken lazily).  Sessions outside the rewritable fragment
+  fall back to wholesale eviction — without a plan there is no cone.
 
 For programs outside the stratified Datalog¬ fragment (existential rules,
 negative cycles) the session degrades gracefully: with ``fallback=True``
@@ -29,20 +38,27 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
-from ..core.atoms import Atom
+from ..core.atoms import Atom, Predicate
 from ..core.database import Database
 from ..core.queries import ConjunctiveQuery
 from ..core.terms import Constant, Term
+from ..engine import RelationIndex, RelationSnapshot
 from ..engine.stats import EngineStatistics
 from ..errors import StratificationError, UnsupportedClassError
 from .magic import MagicProgram, canonicalize_query, magic_rewrite
-from .stratify import evaluate_stratified, normalize_rules, stratify
+from .stratify import (
+    evaluate_stratified,
+    normalize_rules,
+    relevant_predicates,
+    stratify,
+)
 
 __all__ = [
     "QueryPlan",
     "QuerySession",
+    "QueryStatistics",
     "SessionStatistics",
     "compile_query_plan",
     "full_fixpoint_answers",
@@ -75,13 +91,28 @@ def _query_shape_key(query: ConjunctiveQuery) -> str:
     return f"?({head}) :- {body}"
 
 
+def _dependency_cone(rules, query: ConjunctiveQuery) -> frozenset[Predicate]:
+    """Every predicate the query's answers can depend on (incl. negation)."""
+    return relevant_predicates(
+        rules,
+        {literal.predicate for literal in query.literals},
+        follow_negation=True,
+    )
+
+
 @dataclass(frozen=True)
 class QueryPlan:
-    """A compiled, parameterised goal-directed plan for one query shape."""
+    """A compiled, parameterised goal-directed plan for one query shape.
+
+    ``depends`` is the plan's dependency cone: the predicates whose facts can
+    influence the answers.  :class:`QuerySession` uses it for predicate-level
+    answer invalidation; ``None`` means unknown (invalidate conservatively).
+    """
 
     digest: str
     shape: str
     program: MagicProgram
+    depends: Optional[frozenset[Predicate]] = None
 
     def execute(
         self,
@@ -110,6 +141,39 @@ class QueryPlan:
             facts, constants, max_atoms=max_atoms, statistics=statistics
         )
 
+    def execute_on(
+        self,
+        base: RelationSnapshot | RelationIndex,
+        query: ConjunctiveQuery,
+        *,
+        max_atoms: Optional[int] = None,
+        statistics: Optional[EngineStatistics] = None,
+    ) -> frozenset[Tuple[Term, ...]]:
+        """Run the plan over a *base* snapshot without re-indexing it.
+
+        The derivations go to a throwaway overlay fork sharing the base's
+        pattern tables (see :meth:`MagicProgram.evaluate_on`, including its
+        infix caveat).
+        """
+        _, _, constants = canonicalize_query(query)
+        return self.program.evaluate_on(
+            base, constants, max_atoms=max_atoms, statistics=statistics
+        )
+
+    def execute_into(
+        self,
+        index: RelationIndex,
+        query: ConjunctiveQuery,
+        *,
+        max_atoms: Optional[int] = None,
+        statistics: Optional[EngineStatistics] = None,
+    ) -> frozenset[Tuple[Term, ...]]:
+        """Run the plan inside a caller-prepared (typically overlay) index."""
+        _, _, constants = canonicalize_query(query)
+        return self.program.evaluate_into(
+            index, constants, max_atoms=max_atoms, statistics=statistics
+        )
+
 
 def compile_query_plan(rules, query: ConjunctiveQuery) -> QueryPlan:
     """Compile a reusable goal-directed plan for ``(rules, query)``.
@@ -124,6 +188,7 @@ def compile_query_plan(rules, query: ConjunctiveQuery) -> QueryPlan:
         digest=program_digest(normal),
         shape=_query_shape_key(query),
         program=magic_rewrite(normal, query),
+        depends=_dependency_cone(normal, query),
     )
 
 
@@ -151,7 +216,15 @@ def full_fixpoint_answers(
 
 @dataclass
 class SessionStatistics:
-    """Cache and engine counters of one :class:`QuerySession`."""
+    """Cache and engine counters of one :class:`QuerySession`.
+
+    ``invalidations`` counts mutations that triggered any eviction pass;
+    ``predicate_invalidations`` the passes that used dependency cones, and
+    ``wholesale_invalidations`` the conservative clear-everything passes
+    (sessions without plans — fallback mode).  ``answers_retained`` counts
+    cached answers that *survived* a mutation because their cone was
+    disjoint from the mutated predicates.
+    """
 
     plan_hits: int = 0
     plan_misses: int = 0
@@ -159,7 +232,15 @@ class SessionStatistics:
     answer_misses: int = 0
     fallback_queries: int = 0
     invalidations: int = 0
+    predicate_invalidations: int = 0
+    wholesale_invalidations: int = 0
+    answers_retained: int = 0
     engine: EngineStatistics = field(default_factory=EngineStatistics)
+
+
+#: Public alias: query-facing callers read these counters per query session,
+#: mirroring ``EngineStatistics`` on the storage side.
+QueryStatistics = SessionStatistics
 
 
 class QuerySession:
@@ -183,6 +264,13 @@ class QuerySession:
     max_atoms:
         Optional budget threaded into every evaluation.
 
+    The facts live in one persistent :class:`~repro.engine.index.RelationIndex`
+    head.  Every revision (mutation epoch) lazily takes one immutable
+    snapshot; each answer-cache miss forks that snapshot and evaluates the
+    magic program into the fork, sharing the head's already-built hash
+    tables — steady-state selective queries therefore do no per-query
+    O(|DB|) work.
+
     For stratified Datalog¬ the unique stable model is the perfect model, so
     :meth:`answers` returns exactly the certain (= brave = perfect-model)
     answers; :meth:`certain_answers` is an explicit alias.
@@ -200,7 +288,13 @@ class QuerySession:
         max_atoms: Optional[int] = None,
     ) -> None:
         facts = database.atoms if isinstance(database, Database) else database
-        self._facts: set[Atom] = set(facts)
+        self.statistics = SessionStatistics()
+        self._index = RelationIndex(facts, statistics=self.statistics.engine)
+        # The base never replays deltas; keep removals O(1) in the log.
+        self._index.compact(self._index.tick())
+        self._snapshot: Optional[RelationSnapshot] = None
+        #: per-revision memo of the infix-collision scan (infix -> safe?)
+        self._overlay_safety: dict[str, bool] = {}
         # Materialise one-shot iterables: the rules are re-walked on every
         # plan compilation and by the fallback path.
         from ..core.rules import RuleSet
@@ -217,9 +311,11 @@ class QuerySession:
         self._stable_options = dict(stable_options or {})
         self._max_atoms = max_atoms
         self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
-        self._answers: OrderedDict[ConjunctiveQuery, frozenset] = OrderedDict()
+        #: query -> (answers, dependency cone or None)
+        self._answers: OrderedDict[
+            ConjunctiveQuery, Tuple[frozenset, Optional[frozenset[Predicate]]]
+        ] = OrderedDict()
         self._revision = 0
-        self.statistics = SessionStatistics()
         # Decide once whether the rules are in the rewritable fragment; keep
         # the normalised form so plan compilation does not re-normalise.
         self._rewritable = True
@@ -238,11 +334,13 @@ class QuerySession:
     # -------------------------------------------------------------- fact base
     @property
     def facts(self) -> frozenset[Atom]:
-        return frozenset(self._facts)
+        return self._index.atoms()
 
     @property
     def revision(self) -> int:
-        """Bumped on every mutation; answer-cache entries die with it."""
+        """Bumped on every mutation; the snapshot is retaken lazily per
+        revision, and cached answers survive it when their dependency cone
+        misses the mutated predicates."""
         return self._revision
 
     @property
@@ -251,31 +349,63 @@ class QuerySession:
         return self._rewritable
 
     def add_facts(self, atoms: Iterable[Atom]) -> int:
-        """Insert facts; returns the number actually new.  Invalidates answers."""
+        """Insert facts; returns the number actually new.
+
+        Only cached answers whose dependency cone intersects the mutated
+        predicates are invalidated.
+        """
+        touched: Set[Predicate] = set()
         added = 0
         for atom in atoms:
-            if atom not in self._facts:
-                self._facts.add(atom)
+            if self._index.add(atom):
                 added += 1
+                touched.add(atom.predicate)
         if added:
-            self._invalidate()
+            self._invalidate(touched)
         return added
 
     def remove_facts(self, atoms: Iterable[Atom]) -> int:
-        """Remove facts; returns the number actually removed."""
+        """Remove facts; returns the number actually removed.
+
+        Removal maintains the base index in place (no tombstones: the head's
+        backend supports deletion), with the same predicate-level answer
+        invalidation as :meth:`add_facts`.
+        """
+        touched: Set[Predicate] = set()
         removed = 0
         for atom in atoms:
-            if atom in self._facts:
-                self._facts.discard(atom)
+            if self._index.remove(atom):
                 removed += 1
+                touched.add(atom.predicate)
         if removed:
-            self._invalidate()
+            self._invalidate(touched)
         return removed
 
-    def _invalidate(self) -> None:
+    def _invalidate(self, predicates: Optional[Set[Predicate]] = None) -> None:
         self._revision += 1
-        self._answers.clear()
+        self._snapshot = None
+        self._overlay_safety.clear()
+        # Nothing replays the head's delta log (forks have their own); keep
+        # it empty so it never pins atoms across revisions.
+        self._index.compact(self._index.tick())
         self.statistics.invalidations += 1
+        if predicates is None or not self._rewritable:
+            # No dependency cones without plans: evict everything.
+            self._answers.clear()
+            self.statistics.wholesale_invalidations += 1
+            return
+        self.statistics.predicate_invalidations += 1
+        for key in list(self._answers):
+            _, depends = self._answers[key]
+            if depends is None or not predicates.isdisjoint(depends):
+                del self._answers[key]
+            else:
+                self.statistics.answers_retained += 1
+
+    def _ensure_snapshot(self) -> RelationSnapshot:
+        if self._snapshot is None:
+            self._snapshot = self._index.snapshot()
+        return self._snapshot
 
     # ------------------------------------------------------------------ plans
     def plan_for(self, query: ConjunctiveQuery) -> QueryPlan:
@@ -295,6 +425,7 @@ class QuerySession:
             digest=key[0],
             shape=_query_shape_key(query),
             program=magic_rewrite(self._normal, query),
+            depends=_dependency_cone(self._normal, query),
         )
         self._plans[key] = plan
         while len(self._plans) > self._plan_cache_size:
@@ -311,10 +442,10 @@ class QuerySession:
         if cached is not None:
             self._answers.move_to_end(cache_key)
             self.statistics.answer_hits += 1
-            return cached
+            return cached[0]
         self.statistics.answer_misses += 1
-        result = self._compute(query)
-        self._answers[cache_key] = result
+        result, depends = self._compute(query)
+        self._answers[cache_key] = (result, depends)
         while len(self._answers) > self._answer_cache_size:
             self._answers.popitem(last=False)
         return result
@@ -327,7 +458,9 @@ class QuerySession:
         """Boolean entailment: does the query have an answer?"""
         return bool(self.answers(query))
 
-    def _compute(self, query: ConjunctiveQuery) -> frozenset:
+    def _compute(
+        self, query: ConjunctiveQuery
+    ) -> Tuple[frozenset, Optional[frozenset[Predicate]]]:
         if self._rewritable:
             try:
                 plan = self.plan_for(query)
@@ -337,17 +470,45 @@ class QuerySession:
                 # matcher of the stable path evaluates such queries fine.
                 if not self._fallback:
                     raise
-                return self._fallback_answers(query)
-            return plan.execute_for(
-                self._facts,
-                query,
-                max_atoms=self._max_atoms,
-                statistics=self.statistics.engine,
-            )
+                return self._fallback_answers(query), None
+            if self._overlay_safe(plan):
+                result = plan.execute_on(
+                    self._ensure_snapshot(),
+                    query,
+                    max_atoms=self._max_atoms,
+                    statistics=self.statistics.engine,
+                )
+            else:
+                # A base predicate name embeds the plan's namespace infix
+                # (adversarial or wildly unusual input): fall back to the
+                # streaming path, which filters such facts per evaluation.
+                result = plan.execute_for(
+                    self._index,
+                    query,
+                    max_atoms=self._max_atoms,
+                    statistics=self.statistics.engine,
+                )
+            return result, plan.depends
         if not self._fallback:
             assert self._scope_error is not None
             raise self._scope_error
-        return self._fallback_answers(query)
+        return self._fallback_answers(query), None
+
+    def _overlay_safe(self, plan: QueryPlan) -> bool:
+        """No base predicate collides with the plan's generated namespace.
+
+        Constant within a revision, so the predicate-name scan is memoised
+        per infix and dropped on mutation.
+        """
+        infix = plan.program.infix
+        safe = self._overlay_safety.get(infix)
+        if safe is None:
+            safe = not any(
+                infix in predicate.name
+                for predicate in self._index.predicates()
+            )
+            self._overlay_safety[infix] = safe
+        return safe
 
     def _fallback_answers(self, query: ConjunctiveQuery) -> frozenset:
         self.statistics.fallback_queries += 1
@@ -355,7 +516,7 @@ class QuerySession:
         # layer map and imports nothing from it at module scope.
         from ..stable import cautious_answers
 
-        database = Database.of(self._facts)
+        database = Database.of(self._index.atoms())
         # goal_directed=False: the session already determined the rules are
         # outside the rewritable fragment, so skip the doomed re-attempt.
         return cautious_answers(

@@ -18,8 +18,12 @@ from repro.engine import (
     EngineStatistics,
     GroundProgramEvaluator,
     MemoryBackend,
+    OverlayBackend,
+    OverlayRelationIndex,
     RelationIndex,
+    RelationSnapshot,
     SQLiteBackend,
+    VersionedRelationIndex,
     compile_rule,
     enumerate_matches,
     fixpoint,
@@ -128,8 +132,20 @@ class TestRelationIndex:
 # ---------------------------------------------------------------------------
 
 
+#: every class implementing the StorageBackend protocol, including the
+#: overlay (constructed over an empty memory base).
+BACKEND_FACTORIES = [
+    MemoryBackend,
+    SQLiteBackend,
+    lambda: OverlayBackend(MemoryBackend()),
+]
+BACKEND_IDS = ["memory", "sqlite", "overlay"]
+
+
 class TestBackends:
-    @pytest.mark.parametrize("backend_factory", [MemoryBackend, SQLiteBackend])
+    @pytest.mark.parametrize(
+        "backend_factory", BACKEND_FACTORIES, ids=BACKEND_IDS
+    )
     def test_backend_contract(self, backend_factory):
         backend = backend_factory()
         assert backend.insert(edge(a, b))
@@ -142,6 +158,74 @@ class TestBackends:
         assert set(backend.atoms_of(edge)) == {edge(a, b)}
         assert backend.count(edge) == 1
         assert set(backend.predicates()) == {edge, node}
+
+    @pytest.mark.parametrize(
+        "backend_factory", BACKEND_FACTORIES, ids=BACKEND_IDS
+    )
+    def test_backend_remove_contract(self, backend_factory):
+        backend = backend_factory()
+        backend.insert(edge(a, b))
+        backend.insert(edge(b, c))
+        backend.insert(node(a))
+        assert backend.remove(edge(a, b))
+        assert not backend.remove(edge(a, b))  # already gone
+        assert not backend.remove(edge(c, d))  # never present
+        assert edge(a, b) not in backend
+        assert len(backend) == 2
+        assert set(backend) == {edge(b, c), node(a)}
+        assert set(backend.atoms_of(edge)) == {edge(b, c)}
+        assert backend.count(edge) == 1
+        # Removal does not break re-insertion.
+        assert backend.insert(edge(a, b))
+        assert edge(a, b) in backend
+        assert backend.count(edge) == 2
+
+    def test_memory_snapshot_is_stable_under_mutation(self):
+        backend = MemoryBackend()
+        backend.insert(edge(a, b))
+        backend.insert(node(a))
+        view = backend.snapshot()
+        backend.insert(edge(b, c))
+        backend.remove(node(a))
+        # The head sees its own mutations ...
+        assert set(backend) == {edge(a, b), edge(b, c)}
+        # ... while the snapshot still serves the pinned contents.
+        assert set(view) == {edge(a, b), node(a)}
+        assert view.count(edge) == 1
+        assert node(a) in view
+
+    def test_sqlite_snapshot_is_guarded(self):
+        backend = SQLiteBackend()
+        backend.insert(edge(a, b))
+        view = backend.snapshot()
+        assert edge(a, b) in view  # valid while the base is unchanged
+        backend.insert(edge(b, c))
+        with pytest.raises(RuntimeError, match="snapshot invalidated"):
+            edge(a, b) in view
+        with pytest.raises(TypeError, match="read-only"):
+            view.insert(edge(c, d))
+
+    def test_overlay_tombstones_and_resurrection(self):
+        base = MemoryBackend()
+        base.insert(edge(a, b))
+        base.insert(edge(b, c))
+        overlay = OverlayBackend(base.snapshot())
+        # Remove a base atom: tombstoned, base untouched.
+        assert overlay.remove(edge(a, b))
+        assert edge(a, b) not in overlay
+        assert edge(a, b) in base
+        assert overlay.count(edge) == 1
+        assert set(overlay.atoms_of(edge)) == {edge(b, c)}
+        # Re-insert it: the tombstone clears, no duplicate is stored.
+        assert overlay.insert(edge(a, b))
+        assert edge(a, b) in overlay
+        assert overlay.count(edge) == 2
+        assert len(overlay.local) == 0
+        # Local additions/removals never touch the base.
+        assert overlay.insert(edge(c, d))
+        assert overlay.remove(edge(c, d))
+        assert edge(c, d) not in overlay
+        assert set(base) == {edge(a, b), edge(b, c)}
 
     def test_sqlite_roundtrips_function_terms_and_nulls(self):
         from repro.core.terms import FunctionTerm, Null
@@ -188,6 +272,152 @@ class TestBackends:
         sqlite_index = RelationIndex(backend=SQLiteBackend())
         out_of_core = fixpoint(program, facts, index=sqlite_index)
         assert memory.atoms() == out_of_core.atoms()
+
+
+# ---------------------------------------------------------------------------
+# Versioned storage: snapshots, forks, branch-tagged ticks
+# ---------------------------------------------------------------------------
+
+
+class TestVersionedIndex:
+    def test_versioned_alias_is_relation_index(self):
+        assert VersionedRelationIndex is RelationIndex
+
+    def test_remove_maintains_hash_indexes_and_deltas(self):
+        index = RelationIndex([edge(a, b), edge(a, c), edge(b, c)])
+        assert set(index.candidates_for(edge(a, X))) == {edge(a, b), edge(a, c)}
+        assert index.remove(edge(a, b))
+        assert not index.remove(edge(a, b))
+        assert set(index.candidates_for(edge(a, X))) == {edge(a, c)}
+        assert edge(a, b) not in index
+        assert len(index) == 2
+        # The removed atom was withdrawn from the retained delta log.
+        assert edge(a, b) not in index.added_since(0)
+
+    def test_remove_preserves_outstanding_ticks(self):
+        # Removal must not shift tick positions: a tick taken before a
+        # removal still sees exactly the atoms added after it.
+        index = RelationIndex()
+        index.add(edge(a, b))
+        index.add(edge(b, c))
+        tick = index.tick()
+        index.remove(edge(a, b))
+        index.add(edge(c, d))
+        assert list(index.added_since(tick)) == [edge(c, d)]
+        assert list(index.added_since(0)) == [edge(b, c), edge(c, d)]
+        # Compacting over blanked entries keeps later deltas intact.
+        index.compact(tick)
+        mark = index.tick()
+        index.add(edge(a, d))
+        assert list(index.added_since(mark)) == [edge(a, d)]
+
+    def test_snapshot_shares_tables_and_survives_head_mutation(self):
+        stats = EngineStatistics()
+        head = RelationIndex([edge(a, b), edge(b, c)], statistics=stats)
+        head.candidates_for(edge(a, X))  # build the (edge, {0}) table
+        assert stats.index_builds == 1
+        view = head.snapshot()
+        assert stats.snapshots_taken == 1
+        assert stats.pattern_tables_shared == 1
+        # Shared lookup, no rebuild.
+        assert set(view.candidates_for(edge(a, X))) == {edge(a, b)}
+        assert stats.index_builds == 1
+        # Head mutation copies the shared table; the snapshot keeps the old.
+        head.add(edge(a, d))
+        assert stats.pattern_tables_copied == 1
+        assert set(head.candidates_for(edge(a, X))) == {edge(a, b), edge(a, d)}
+        assert set(view.candidates_for(edge(a, X))) == {edge(a, b)}
+        assert edge(a, d) not in view
+        assert len(view) == 2
+
+    def test_snapshot_cold_pattern_builds_on_head_while_current(self):
+        stats = EngineStatistics()
+        head = RelationIndex([edge(a, b), edge(b, c)], statistics=stats)
+        view = head.snapshot()
+        # Cold pattern: built once on the head (so it persists), then shared.
+        assert set(view.candidates_for(edge(X, c))) == {edge(b, c)}
+        assert stats.index_builds == 1
+        assert set(head.candidates_for(edge(X, c))) == {edge(b, c)}
+        assert stats.index_builds == 1  # the head reuses the same table
+        # A second snapshot shares it again without rebuilding.
+        second = head.snapshot()
+        assert set(second.candidates_for(edge(X, c))) == {edge(b, c)}
+        assert stats.index_builds == 1
+
+    def test_fork_layers_additions_and_tombstones(self):
+        stats = EngineStatistics()
+        head = RelationIndex([edge(a, b), edge(b, c)], statistics=stats)
+        head.candidates_for(edge(a, X))
+        fork = head.fork()
+        assert isinstance(fork, OverlayRelationIndex)
+        assert stats.forks_created == 1
+        # Reads fall through to the base.
+        assert set(fork.candidates_for(edge(a, X))) == {edge(a, b)}
+        assert edge(b, c) in fork
+        # Writes stay in the overlay.
+        fork.add(edge(a, d))
+        fork.remove(edge(b, c))
+        assert set(fork.candidates_for(edge(a, X))) == {edge(a, b), edge(a, d)}
+        assert edge(b, c) not in fork
+        assert len(fork) == 2
+        assert fork.count(edge) == 2
+        # The head never sees any of it.
+        assert head.atoms() == frozenset({edge(a, b), edge(b, c)})
+        assert set(head.candidates_for(edge(a, X))) == {edge(a, b)}
+        # No O(|base|) work happened: only overlay-local tables were built.
+        assert stats.index_builds <= 2
+        assert stats.pattern_tables_copied == 0
+
+    def test_fork_tombstone_filtering_in_indexed_lookups(self):
+        head = RelationIndex([edge(a, b), edge(a, c), edge(b, c)])
+        fork = head.fork()
+        fork.remove(edge(a, b))
+        assert set(fork.candidates_for(edge(a, X))) == {edge(a, c)}
+        assert set(fork.candidates(edge)) == {edge(a, c), edge(b, c)}
+        # Resurrection makes it visible through the base tables again.
+        fork.add(edge(a, b))
+        assert set(fork.candidates_for(edge(a, X))) == {edge(a, b), edge(a, c)}
+        assert len(list(fork.candidates_for(edge(a, X)))) == 2  # no duplicates
+
+    def test_ticks_are_branch_tagged(self):
+        head = RelationIndex([edge(a, b)])
+        fork = head.fork()
+        head_tick = head.tick()
+        fork_tick = fork.tick()
+        with pytest.raises(ValueError, match="per-branch"):
+            fork.added_since(head_tick)
+        with pytest.raises(ValueError, match="per-branch"):
+            head.added_since(fork_tick)
+        with pytest.raises(ValueError, match="per-branch"):
+            fork.compact(head_tick)
+        # Plain ints (legacy) are accepted against the receiving branch.
+        assert list(head.added_since(0)) == [edge(a, b)]
+
+    def test_fork_delta_log_starts_at_fork_point(self):
+        head = RelationIndex([edge(a, b), edge(b, c)])
+        fork = head.fork()
+        # The base is not replayed into the fork's log ...
+        assert list(fork.added_since(0)) == []
+        tick = fork.tick()
+        fork.add(edge(c, d))
+        # ... but post-fork additions are tracked normally.
+        assert list(fork.added_since(tick)) == [edge(c, d)]
+        assert list(fork.added_since(0)) == [edge(c, d)]
+
+    def test_fixpoint_over_fork_matches_flat_evaluation(self):
+        program = NormalProgram(
+            (
+                NormalRule(path(X, Y), (edge(X, Y),)),
+                NormalRule(path(X, Z), (edge(X, Y), path(Y, Z))),
+            )
+        )
+        facts = chain_atoms(8)
+        head = RelationIndex(facts)
+        flat = fixpoint(program, facts).atoms()
+        forked = fixpoint(program, index=head.fork()).atoms()
+        assert forked == flat
+        # The base head was left exactly as it was.
+        assert head.atoms() == frozenset(facts)
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,8 @@ atom sets must be identical.
 
 from __future__ import annotations
 
+import pytest
+
 from repro import parse_database, parse_program
 from repro.chase import oblivious_chase, restricted_chase
 from repro.core.homomorphism import AtomIndex, embeds, extend_homomorphisms, ground_matches
@@ -229,3 +231,145 @@ def _atom(name: str):
     from repro.core.atoms import Predicate
 
     return Predicate(name, 0)()
+
+
+# ---------------------------------------------------------------------------
+# Versioned storage parity: fork/add/remove/query interleavings
+# ---------------------------------------------------------------------------
+
+
+class TestVersionedStorageParity:
+    """Property tests: a branch of a ``VersionedRelationIndex`` always agrees
+    with a fresh naive ``RelationIndex`` built from the equivalent flat fact
+    set, under any interleaving of fork/add/remove/query operations."""
+
+    PREDICATES = None  # initialised lazily (Predicate import is local)
+
+    @staticmethod
+    def _universe():
+        from repro.core.atoms import Predicate
+        from repro.core.terms import Constant
+
+        p = Predicate("p", 1)
+        q = Predicate("q", 2)
+        constants = [Constant(f"c{i}") for i in range(5)]
+        atoms = [p(c) for c in constants]
+        atoms += [q(x, y) for x in constants for y in constants]
+        return [p, q], constants, atoms
+
+    @staticmethod
+    def _check_branch(index, model):
+        """The branch's full read surface against a naive reference index."""
+        from repro.core.terms import Variable
+        from repro.engine import RelationIndex
+
+        reference = RelationIndex(sorted(model, key=lambda a: a.sort_key()))
+        assert index.atoms() == reference.atoms()
+        assert len(index) == len(reference)
+        predicates = {atom.predicate for atom in model}
+        X, Y = Variable("X"), Variable("Y")
+        for predicate in predicates:
+            assert set(index.candidates(predicate)) == set(
+                reference.candidates(predicate)
+            )
+            assert index.count(predicate) == reference.count(predicate)
+        for atom in model:
+            assert atom in index
+            # Fully bound lookup must find exactly the atom.
+            assert set(index.candidates_for(atom)) == {atom}
+            # Partially bound lookups agree with the reference tables.
+            if atom.predicate.arity == 2:
+                pattern = atom.predicate(atom.terms[0], Y)
+                assert set(index.candidates_for(pattern)) == set(
+                    reference.candidates_for(pattern)
+                )
+                pattern = atom.predicate(X, atom.terms[1])
+                assert set(index.candidates_for(pattern)) == set(
+                    reference.candidates_for(pattern)
+                )
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_random_interleavings_match_flat_reference(self, seed):
+        import random
+
+        from repro.engine import VersionedRelationIndex
+
+        rng = random.Random(seed)
+        _, _, atoms = self._universe()
+        root = VersionedRelationIndex(rng.sample(atoms, 8))
+        branches = [(root, set(root.atoms()))]
+        for _ in range(120):
+            operation = rng.choice(["add", "add", "remove", "query", "fork"])
+            position = rng.randrange(len(branches))
+            index, model = branches[position]
+            if operation == "add":
+                atom = rng.choice(atoms)
+                assert index.add(atom) == (atom not in model)
+                model.add(atom)
+            elif operation == "remove":
+                # Bias towards present atoms so removal is exercised.
+                pool = sorted(model, key=lambda a: a.sort_key()) or atoms
+                atom = rng.choice(pool if rng.random() < 0.8 else atoms)
+                assert index.remove(atom) == (atom in model)
+                model.discard(atom)
+            elif operation == "query":
+                atom = rng.choice(atoms)
+                assert (atom in index) == (atom in model)
+                expected = {
+                    other
+                    for other in model
+                    if other.predicate == atom.predicate
+                    and other.terms[0] == atom.terms[0]
+                }
+                from repro.core.terms import Variable
+
+                free = tuple(
+                    Variable(f"V{i}")
+                    for i in range(1, atom.predicate.arity)
+                )
+                pattern = atom.predicate(atom.terms[0], *free)
+                assert set(index.candidates_for(pattern)) == expected
+            elif operation == "fork" and len(branches) < 8:
+                branches.append((index.fork(), set(model)))
+        for index, model in branches:
+            self._check_branch(index, model)
+
+    def test_fork_is_isolated_from_later_parent_mutations(self):
+        from repro.core.atoms import Predicate
+        from repro.core.terms import Constant, Variable
+        from repro.engine import VersionedRelationIndex
+
+        q = Predicate("q", 2)
+        c = [Constant(f"c{i}") for i in range(4)]
+        X = Variable("X")
+        head = VersionedRelationIndex([q(c[0], c[1]), q(c[0], c[2])])
+        head.candidates_for(q(c[0], X))  # warm the (q, {0}) table
+        fork = head.fork()
+        fork.add(q(c[0], c[3]))
+        # Mutate the parent *after* forking: the fork must not see it.
+        head.add(q(c[0], c[0]))
+        head.remove(q(c[0], c[1]))
+        assert set(fork.candidates_for(q(c[0], X))) == {
+            q(c[0], c[1]), q(c[0], c[2]), q(c[0], c[3])
+        }
+        assert set(head.candidates_for(q(c[0], X))) == {
+            q(c[0], c[2]), q(c[0], c[0])
+        }
+
+    def test_fork_of_fork_matches_flat_reference(self):
+        from repro.core.atoms import Predicate
+        from repro.core.terms import Constant
+        from repro.engine import VersionedRelationIndex
+
+        p = Predicate("p", 1)
+        c = [Constant(f"c{i}") for i in range(4)]
+        root = VersionedRelationIndex([p(c[0]), p(c[1])])
+        child = root.fork()
+        child.add(p(c[2]))
+        child.remove(p(c[0]))
+        grandchild = child.fork()
+        grandchild.add(p(c[3]))
+        grandchild.remove(p(c[1]))
+        self._check_branch(grandchild, {p(c[2]), p(c[3])})
+        self._check_branch(child, {p(c[1]), p(c[2])})
+        self._check_branch(root, {p(c[0]), p(c[1])})

@@ -10,7 +10,12 @@ from repro.core.atoms import Atom, Predicate
 from repro.core.terms import Constant
 from repro.encodings import DenialConstraint, consistent_answers, subset_repairs
 from repro.lp import ground_program, ground_program_for_query, skolemize
-from repro.query import QuerySession, compile_query_plan
+from repro.query import (
+    QuerySession,
+    QueryStatistics,
+    SessionStatistics,
+    compile_query_plan,
+)
 from repro.stable import cautious_answers, certain_answer
 
 RULES = parse_program(
@@ -87,6 +92,190 @@ class TestAnswerCache:
         assert session.statistics.answer_hits == 1
 
 
+def test_query_statistics_is_the_session_statistics_surface():
+    # The public counter surface is exported under both names.
+    assert QueryStatistics is SessionStatistics
+    assert isinstance(QuerySession().statistics, QueryStatistics)
+
+
+class TestPredicateLevelInvalidation:
+    RULES = parse_program(
+        """
+        edge(X, Y) -> path(X, Y)
+        edge(X, Z), path(Z, Y) -> path(X, Y)
+        colour(X) -> hue(X)
+        """
+    )
+    DATABASE = parse_database(
+        "edge(a, b). edge(b, c). colour(red). colour(blue)."
+    )
+
+    def test_unrelated_mutation_keeps_answer_cached(self):
+        session = QuerySession(self.DATABASE, self.RULES)
+        query = parse_query("?(Y) :- path(a, Y)")
+        before = session.answers(query)
+        # colour/1 is outside path's dependency cone.
+        session.add_facts([Atom(Predicate("colour", 1), (Constant("green"),))])
+        assert session.revision == 1
+        assert session.answers(query) == before
+        assert session.statistics.answer_hits == 1
+        assert session.statistics.predicate_invalidations == 1
+        assert session.statistics.wholesale_invalidations == 0
+        assert session.statistics.answers_retained == 1
+
+    def test_related_mutation_still_invalidates(self):
+        session = QuerySession(self.DATABASE, self.RULES)
+        path_query = parse_query("?(Y) :- path(a, Y)")
+        hue_query = parse_query("?(X) :- hue(X)")
+        session.answers(path_query)
+        session.answers(hue_query)
+        session.add_facts(
+            [Atom(Predicate("edge", 2), (Constant("c"), Constant("d")))]
+        )
+        # The path answer was evicted, the hue answer survived.
+        assert session.statistics.answers_retained == 1
+        assert (Constant("d"),) in session.answers(path_query)
+        assert session.statistics.answer_misses == 3
+        assert session.answers(hue_query)
+        assert session.statistics.answer_hits == 1
+
+    def test_removal_is_predicate_level_too(self):
+        session = QuerySession(self.DATABASE, self.RULES)
+        path_query = parse_query("?(Y) :- path(a, Y)")
+        hue_query = parse_query("?(X) :- hue(X)")
+        session.answers(path_query)
+        hues = session.answers(hue_query)
+        session.remove_facts(
+            [Atom(Predicate("edge", 2), (Constant("a"), Constant("b")))]
+        )
+        assert session.answers(path_query) == frozenset()
+        assert session.answers(hue_query) == hues
+        assert session.statistics.answer_hits == 1
+        assert session.facts == frozenset(
+            atom for atom in self.DATABASE.atoms
+            if atom != Atom(Predicate("edge", 2), (Constant("a"), Constant("b")))
+        )
+
+    def test_negation_is_part_of_the_dependency_cone(self):
+        rules = parse_program(
+            """
+            node(X), not blocked(X) -> open(X)
+            """
+        )
+        database = parse_database("node(a). node(b).")
+        session = QuerySession(database, rules)
+        query = parse_query("?(X) :- open(X)")
+        assert session.answers(query) == frozenset(
+            {(Constant("a"),), (Constant("b"),)}
+        )
+        # blocked/1 only occurs *negatively* — it must still invalidate.
+        session.add_facts([Atom(Predicate("blocked", 1), (Constant("a"),))])
+        assert session.answers(query) == frozenset({(Constant("b"),)})
+
+    def test_fallback_sessions_invalidate_wholesale(self):
+        rules = parse_program("person(X) -> exists Y. hasFather(X, Y)")
+        session = QuerySession(parse_database("person(alice)."), rules)
+        query = parse_query("?(X) :- person(X)")
+        session.answers(query)
+        session.add_facts([Atom(Predicate("person", 1), (Constant("bob"),))])
+        session.answers(query)
+        assert session.statistics.wholesale_invalidations == 1
+        assert session.statistics.predicate_invalidations == 0
+        assert session.statistics.answer_misses == 2
+
+
+class TestZeroRebuildSteadyState:
+    """Acceptance criterion: after warm-up, an answer-cache miss performs no
+    full-index rebuild — every base access pattern is served by the shared
+    tables of the persistent per-revision snapshot."""
+
+    def test_cache_misses_reuse_base_tables(self):
+        rules = parse_program(
+            """
+            link(X, Y) -> reachable(X, Y)
+            link(X, Z), reachable(Z, Y) -> reachable(X, Y)
+            """
+        )
+        link = Predicate("link", 2)
+        atoms = [
+            Atom(link, (Constant(f"n{i}"), Constant(f"n{i + 1}")))
+            for i in range(200)
+        ]
+        session = QuerySession(atoms, rules)
+        session.answers(parse_query("?(Y) :- reachable(n190, Y)"))  # warm-up
+        engine = session.statistics.engine
+        warm_builds = engine.index_builds
+        assert warm_builds > 0  # the warm-up did build the base tables
+        for i in range(180, 190):  # distinct constants: all cache misses
+            session.answers(parse_query(f"?(Y) :- reachable(n{i}, Y)"))
+        assert session.statistics.answer_misses == 11
+        assert engine.index_builds == warm_builds
+        assert engine.forks_created == 11
+        # Mutations advance the revision without forcing rebuilds either:
+        # copy-on-write duplicates the mutated relation's tables instead.
+        session.add_facts(
+            [Atom(link, (Constant("n300"), Constant("n301")))]
+        )
+        session.answers(parse_query("?(Y) :- reachable(n300, Y)"))
+        assert engine.index_builds == warm_builds
+        assert engine.pattern_tables_copied > 0
+
+
+class TestNoStaleAnswersUnderMutation:
+    """Property test: predicate-level invalidation never serves a stale
+    answer — every session answer equals a from-scratch evaluation over the
+    session's current facts."""
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_random_mutation_query_interleavings(self, seed):
+        import random
+
+        from repro.query import full_fixpoint_answers
+
+        rules = parse_program(
+            """
+            edge(X, Y) -> path(X, Y)
+            edge(X, Z), path(Z, Y) -> path(X, Y)
+            colour(X) -> hue(X)
+            node(X), not muted(X) -> loud(X)
+            """
+        )
+        rng = random.Random(seed)
+        edge = Predicate("edge", 2)
+        colour = Predicate("colour", 1)
+        node = Predicate("node", 1)
+        muted = Predicate("muted", 1)
+        constants = [Constant(f"c{i}") for i in range(5)]
+        universe = (
+            [Atom(edge, (x, y)) for x in constants for y in constants]
+            + [Atom(colour, (x,)) for x in constants]
+            + [Atom(node, (x,)) for x in constants]
+            + [Atom(muted, (x,)) for x in constants]
+        )
+        queries = [
+            parse_query("?(Y) :- path(c0, Y)"),
+            parse_query("?(Y) :- path(c1, Y)"),
+            parse_query("?(X) :- hue(X)"),
+            parse_query("?(X) :- loud(X)"),
+            parse_query("? :- path(c0, c3)"),
+        ]
+        session = QuerySession(rng.sample(universe, 10), rules)
+        for _ in range(60):
+            action = rng.random()
+            if action < 0.3:
+                session.add_facts([rng.choice(universe)])
+            elif action < 0.5:
+                pool = sorted(session.facts, key=lambda a: a.sort_key())
+                if pool:
+                    session.remove_facts([rng.choice(pool)])
+            else:
+                query = rng.choice(queries)
+                expected = full_fixpoint_answers(
+                    session.facts, rules, query
+                )
+                assert session.answers(query) == expected
+
+
 class TestStableFastPath:
     def test_certain_answer_fast_path_matches_enumeration(self):
         query = parse_query("? :- path(a, c)")
@@ -122,6 +311,34 @@ class TestCqaPlanReuse:
             expected = current if expected is None else expected & current
         assert answers == frozenset(expected)
         assert answers == frozenset({(Constant("eve"),)})
+
+    def test_base_database_indexed_once_across_repairs(self):
+        from repro.engine import EngineStatistics
+
+        manager = Predicate("manager", 1)
+        intern = Predicate("intern", 1)
+        from repro.core.terms import Variable
+
+        x = Variable("X")
+        constraint = DenialConstraint((manager(x), intern(x)))
+        database = parse_database(
+            "manager(ann). manager(eve). manager(joe). manager(sue)."
+            " intern(ann). intern(joe). intern(sue). intern(zed)."
+        )
+        repairs = subset_repairs(database, [constraint])
+        assert len(repairs) > 2
+        # A constant-bound query exercises the hash-indexed lookup path.
+        query = parse_query("? :- manager(eve), intern(zed)")
+        statistics = EngineStatistics()
+        answers = consistent_answers(
+            database, [constraint], query, statistics=statistics
+        )
+        assert answers == frozenset({()})
+        # One overlay fork per repair, but the base tables were built at
+        # most once per access pattern — not once per repair.
+        assert statistics.forks_created == len(repairs)
+        assert statistics.snapshots_taken == 1
+        assert 0 < statistics.index_builds <= 2
 
 
 class TestQueryRelevantGrounding:
