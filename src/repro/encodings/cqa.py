@@ -108,21 +108,31 @@ def consistent_answers(
     query: ConjunctiveQuery,
     max_facts: int = 16,
     *,
+    incremental: bool = True,
     statistics: Optional["EngineStatistics"] = None,
 ) -> frozenset[tuple[Term, ...]]:
     """Certain answers of the query over every subset repair.
 
     The query is compiled once into a goal-directed plan
-    (:func:`repro.query.compile_query_plan`), and the database is indexed
-    **once**: every repair is a copy-on-write overlay fork of one shared base
-    index in which the repair's removed facts are tombstoned, so the
-    per-repair cost is an indexed join over the shared hash tables plus
-    O(removed facts) — never a fresh re-index of the database.  Queries
-    outside the plan compiler's fragment (nulls, function terms) fall back to
-    direct homomorphism evaluation per repair.
+    (:func:`repro.query.compile_query_plan`) and the plan is materialised
+    **once** over the full database, with derivation-support recording
+    (:class:`repro.engine.maintenance.MaterializedView`).  A repair differs
+    from the base by a handful of removed facts, so each repair is evaluated
+    as a **deletion delta**: apply the removed facts as deletions (a counting
+    cascade through the recorded derivations), read the repaired goal
+    relation, and add the facts back — per-repair cost O(|delta| cascade),
+    never a re-evaluation of the plan.  Queries outside the plan compiler's
+    fragment (nulls, function terms) fall back to direct homomorphism
+    evaluation per repair.
 
-    Pass *statistics* to observe the sharing (e.g. ``index_builds`` does not
-    grow with the number of repairs).
+    With ``incremental=False`` the PR 3 strategy is used instead — one shared
+    base index, one copy-on-write overlay fork per repair with the removed
+    facts tombstoned, and a full plan evaluation inside each fork — kept as
+    the benchmark baseline (``benchmarks/bench_incremental_maintenance.py``
+    measures the two against each other).
+
+    Pass *statistics* to observe the work (``deltas_applied`` grows by two
+    per repair — apply and restore — while ``index_builds`` stays flat).
     """
     repairs = subset_repairs(database, constraints, max_facts)
     if not repairs:
@@ -136,16 +146,34 @@ def consistent_answers(
     except UnsupportedClassError:
         plan = None
 
+    all_atoms = frozenset(database.atoms)
     if plan is None:
         evaluate = query.answers
     elif any(plan.program.infix in atom.predicate.name for atom in database):
         # Adversarial predicate names collide with the plan's generated
         # namespace: stream and filter the raw facts per repair instead.
         evaluate = plan.execute
+    elif incremental:
+        from ..engine import MaterializedView
+        from itertools import chain as _chain
+
+        view = MaterializedView(
+            plan.program.rules,
+            _chain(all_atoms, (plan.program.seed(),)),
+            stratification=plan.program.stratification,
+            statistics=statistics,
+        )
+
+        def evaluate(repair, _plan=plan, _view=view):
+            removed = all_atoms - repair
+            _view.apply_delta(deletions=removed)
+            current = _plan.program.collect_answers(_view.index)
+            _view.apply_delta(additions=removed)
+            return current
+
     else:
         from ..engine import RelationIndex
 
-        all_atoms = frozenset(database.atoms)
         snapshot = RelationIndex(all_atoms, statistics=statistics).snapshot()
 
         def evaluate(repair, _plan=plan):

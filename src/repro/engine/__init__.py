@@ -20,6 +20,12 @@ loops.  It has five parts:
   :class:`GroundProgramEvaluator` for ground programs;
 * :mod:`~repro.engine.backend` — the pluggable storage protocol with the
   in-memory default and a ``sqlite3`` out-of-core backend;
+* :mod:`~repro.engine.maintenance` — incremental maintenance of derived
+  relations: :class:`SupportTable` derivation records (populated through the
+  fixpoint driver's ``on_fire`` hook), the counting cascade behind
+  :meth:`RelationIndex.retract`, and :class:`MaterializedView`, which repairs
+  a stratified materialisation under deletions (counting per non-recursive
+  stratum, Delete-and-Rederive per recursive stratum) instead of recomputing;
 * :mod:`~repro.engine.stats` — :class:`EngineStatistics`, the shared counter
   object surfaced in chase and solver results.
 
@@ -39,6 +45,7 @@ from .index import (
     match_terms,
     resolve_term,
 )
+from .maintenance import MaterializedView, SupportTable, ViewDelta
 from .planner import CompiledRule, compile_rule, enumerate_matches, order_body
 from .seminaive import GroundProgramEvaluator, fixpoint
 from .stats import EngineStatistics
@@ -47,6 +54,7 @@ __all__ = [
     "CompiledRule",
     "EngineStatistics",
     "GroundProgramEvaluator",
+    "MaterializedView",
     "MemoryBackend",
     "OverlayBackend",
     "OverlayRelationIndex",
@@ -54,8 +62,10 @@ __all__ = [
     "RelationSnapshot",
     "SQLiteBackend",
     "StorageBackend",
+    "SupportTable",
     "Tick",
     "VersionedRelationIndex",
+    "ViewDelta",
     "compile_rule",
     "enumerate_matches",
     "fixpoint",

@@ -87,31 +87,51 @@ class StorageBackend(Protocol):
 
 
 class _Relation:
-    """One predicate's rows: a scan list plus a membership set.
+    """One predicate's rows: an insertion-ordered dict plus a cached scan list.
+
+    The dict gives O(1) membership, insertion **and removal** while
+    preserving insertion order; :meth:`scan` materialises (and caches) the
+    row list for sequence-shaped consumers.  Insertions keep a live cache
+    appended; a removal invalidates it, so a batch of removals pays one
+    O(|relation|) rebuild on the next scan instead of one per removal
+    (which is what makes the deletion cascades of
+    :mod:`repro.engine.maintenance` proportional to the delta).
 
     ``shared`` marks the relation as referenced by more than one backend
     (after a ``snapshot``); a writer must copy it first — predicate-level
     copy-on-write.
     """
 
-    __slots__ = ("atoms", "members", "shared")
+    __slots__ = ("rows", "shared", "_scan")
 
-    def __init__(
-        self, atoms: List[Atom] | None = None, members: Set[Atom] | None = None
-    ) -> None:
-        self.atoms: List[Atom] = atoms if atoms is not None else []
-        self.members: Set[Atom] = members if members is not None else set()
+    def __init__(self, rows: Dict[Atom, None] | None = None) -> None:
+        self.rows: Dict[Atom, None] = rows if rows is not None else {}
         self.shared = False
+        self._scan: List[Atom] | None = None
+
+    def scan(self) -> List[Atom]:
+        if self._scan is None:
+            self._scan = list(self.rows)
+        return self._scan
+
+    def append(self, atom: Atom) -> None:
+        self.rows[atom] = None
+        if self._scan is not None:
+            self._scan.append(atom)
+
+    def discard(self, atom: Atom) -> None:
+        del self.rows[atom]
+        self._scan = None
 
     def copy(self) -> "_Relation":
-        return _Relation(list(self.atoms), set(self.members))
+        return _Relation(dict(self.rows))
 
 
 class MemoryBackend:
     """Default in-memory storage with predicate-level copy-on-write.
 
-    Each predicate owns a :class:`_Relation` (insertion-ordered list for
-    scans, set for membership).  ``snapshot()`` shares every relation with
+    Each predicate owns a :class:`_Relation` (insertion-ordered dict with a
+    cached scan list).  ``snapshot()`` shares every relation with
     the new view and marks it ``shared``; the first subsequent write to a
     shared relation — from either side — copies it, so a snapshot costs
     O(#predicates) and later mutations cost O(|mutated relation|) once.
@@ -134,36 +154,42 @@ class MemoryBackend:
         return relation
 
     def insert(self, atom: Atom) -> bool:
-        # Hot path: one dict probe plus one set probe in the common case.
+        # Hot path: two dict probes in the common case.
         relation = self._rows.get(atom.predicate)
         if relation is None:
             relation = _Relation()
             self._rows[atom.predicate] = relation
-        elif atom in relation.members:
+        elif atom in relation.rows:
             return False
         elif relation.shared:
             relation = relation.copy()
             self._rows[atom.predicate] = relation
-        relation.members.add(atom)
-        relation.atoms.append(atom)
+        relation.append(atom)
         self._size += 1
         return True
 
     def remove(self, atom: Atom) -> bool:
         relation = self._rows.get(atom.predicate)
-        if relation is None or atom not in relation.members:
+        if relation is None or atom not in relation.rows:
             return False
         relation = self._writable(atom.predicate)
-        relation.members.discard(atom)
-        # O(|relation|): the scan list keeps insertion order, which the
-        # protocol promises (and deterministic chase/grounding runs rely
-        # on); retraction-heavy workloads should tombstone via an overlay
-        # fork instead of bulk-removing from a large head relation.
-        relation.atoms.remove(atom)
+        # O(1) on the ordered dict; the cached scan list is invalidated and
+        # rebuilt once per removal batch (insertion order is preserved, as
+        # the protocol promises and deterministic chase runs rely on).
+        relation.discard(atom)
         self._size -= 1
         return True
 
     def snapshot(self) -> "MemoryBackend":
+        """An O(#predicates) copy-on-write view of the current contents.
+
+        Invariant: a relation marked ``shared`` is referenced by at least two
+        backends and must never be mutated in place — every write path goes
+        through ``_writable`` (or the inlined equivalent in ``insert``),
+        which copies first.  The mark is sticky (cleared only by copying),
+        so chains of snapshots stay safe: sharing with a newer view cannot
+        un-protect an older one.
+        """
         clone = MemoryBackend()
         for predicate, relation in self._rows.items():
             relation.shared = True
@@ -173,22 +199,22 @@ class MemoryBackend:
 
     def __contains__(self, atom: Atom) -> bool:
         relation = self._rows.get(atom.predicate)
-        return relation is not None and atom in relation.members
+        return relation is not None and atom in relation.rows
 
     def __len__(self) -> int:
         return self._size
 
     def __iter__(self) -> Iterator[Atom]:
         for relation in list(self._rows.values()):
-            yield from relation.atoms
+            yield from relation.scan()
 
     def atoms_of(self, predicate: Predicate) -> Sequence[Atom]:
         relation = self._rows.get(predicate)
-        return relation.atoms if relation is not None else ()
+        return relation.scan() if relation is not None else ()
 
     def count(self, predicate: Predicate) -> int:
         relation = self._rows.get(predicate)
-        return len(relation.atoms) if relation is not None else 0
+        return len(relation.rows) if relation is not None else 0
 
     def predicates(self) -> Iterable[Predicate]:
         return self._rows.keys()
@@ -233,6 +259,16 @@ class OverlayBackend:
 
     # ------------------------------------------------------------- protocol
     def insert(self, atom: Atom) -> bool:
+        """Make *atom* visible in this branch; ``True`` iff it was not.
+
+        Three disjoint cases, in check order: a **tombstoned base atom** is
+        resurrected (the tombstone is cleared; the atom is served by the
+        *base* again, not copied into the local layer — readers that keep
+        separate base/local access paths rely on this, cf.
+        ``OverlayRelationIndex._note_added``); an atom **visible via the
+        base** is a duplicate (``False``); anything else goes to the private
+        local backend.  The base itself is never written.
+        """
         if atom in self._tombstones:
             self._tombstones.discard(atom)
             self._tombstone_counts[atom.predicate] -= 1
@@ -242,6 +278,13 @@ class OverlayBackend:
         return self._local.insert(atom)
 
     def remove(self, atom: Atom) -> bool:
+        """Hide *atom* from this branch; ``True`` iff it was visible.
+
+        A local addition is physically deleted; a visible base atom gets a
+        **tombstone** (per-predicate tombstone counts let readers skip the
+        filter for untouched relations); an already-tombstoned or unknown
+        atom is a no-op.  The base itself is never written.
+        """
         if self._local.remove(atom):
             return True
         if atom in self._tombstones:

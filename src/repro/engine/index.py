@@ -147,11 +147,20 @@ class Tick(int):
 
     Behaves as a plain ``int`` (ordering, arithmetic — though arithmetic
     results degrade to untagged ints).  ``added_since``/``compact`` reject a
-    tagged tick minted by a *different* branch: delta logs are per-branch,
-    and a tick from the parent means nothing in a fork (the fork's log
-    starts empty at the fork point).  Untagged plain ints (e.g. the literal
+    tagged tick minted by a *different* branch with ``ValueError``: delta
+    logs are per-branch, and a tick from the parent means nothing in a fork
+    (the fork's log starts empty at the fork point — base atoms are *not*
+    replayed, so a parent tick silently interpreted against the fork's log
+    would claim "nothing new" for atoms the consumer never saw).  A caller
+    that crosses a snapshot/fork boundary must mint a fresh ``tick()`` on
+    the branch it will read from.  Untagged plain ints (e.g. the literal
     ``0``) are accepted for backward compatibility and interpreted against
     the receiving branch's log.
+
+    Two further invariants keep outstanding ticks valid under mutation:
+    removals *blank* log entries in place rather than splicing (positions
+    never shift), and ``compact`` only drops the prefix strictly before an
+    explicitly supplied tick of the same branch.
     """
 
     # (no __slots__: CPython forbids nonempty slots on int subclasses)
@@ -334,6 +343,31 @@ class RelationIndex:
                 bucket.remove(atom)
                 if not bucket:
                     del table.buckets[key]
+
+    def retract(self, atom: Atom, *, support=None) -> Tuple[Atom, ...]:
+        """Delete *atom* and cascade through a derivation-support table.
+
+        With ``support=None`` this is :meth:`remove` returning the removed
+        atoms (``(atom,)`` or ``()``).  With a
+        :class:`~repro.engine.maintenance.SupportTable` — populated by running
+        the fixpoint driver with ``on_fire=table.record`` — the cascade
+        removes every atom whose derivation count drops to zero, transitively
+        (**counting** maintenance).  Each removal goes through :meth:`remove`,
+        so pattern hash tables are maintained incrementally and the retained
+        delta-log entries of removed atoms are *blanked in place*: outstanding
+        :class:`Tick` positions stay valid and ``added_since`` never replays a
+        retracted atom.
+
+        Counting is exact only for non-recursive, negation-free support
+        (cyclic derivations keep each other's counts positive after their
+        external support is gone); recursive strata and stratified negation
+        need the Delete-and-Rederive repair of
+        :class:`~repro.engine.maintenance.MaterializedView`, which layers it
+        over the same table.
+        """
+        if support is None:
+            return (atom,) if self.remove(atom) else ()
+        return support.cascade_retract(self, atom)
 
     def update(self, atoms: Iterable[Atom]) -> None:
         for atom in atoms:
@@ -651,10 +685,19 @@ class OverlayRelationIndex(RelationIndex):
     filter for base atoms the branch removed.  Writes touch only the overlay,
     so any number of branches can run against one base concurrently.
 
+    Tombstone semantics (enforced in :class:`~repro.engine.backend.OverlayBackend`):
+    removing a base atom records a tombstone instead of touching the base;
+    re-inserting a tombstoned atom *clears* the tombstone, making the base
+    atom visible again (a "resurrection" — it does **not** create an
+    overlay-local copy, which is why :meth:`_note_added` only indexes
+    genuinely local additions).  The base snapshot must stay immutable while
+    the fork is alive; copy-on-write backends guarantee that, guarded views
+    raise if it is violated.
+
     The branch has its own delta log starting empty at the fork point (the
     base atoms are *not* replayed — semi-naive drivers scan the full index on
     their first round anyway), and its own branch id: parent ticks raise in
-    :meth:`added_since`/:meth:`compact`.
+    :meth:`added_since`/:meth:`compact` (see :class:`Tick`).
     """
 
     __slots__ = ("_base",)

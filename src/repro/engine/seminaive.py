@@ -45,6 +45,14 @@ __all__ = ["fixpoint", "GroundProgramEvaluator"]
 #: callback invoked for every newly derived atom: (atom, source rule, assignment)
 DeriveCallback = Callable[[Atom, object, dict], None]
 
+#: opt-in callback invoked for EVERY enumerated rule firing — including
+#: firings that only re-derive an atom the index already holds.  This is the
+#: hook :mod:`repro.engine.maintenance` uses to build derivation-support
+#: tables (pass ``on_fire=SupportTable().record``); ``on_derive`` cannot serve
+#: that purpose because it fires only for *new* atoms, and incremental
+#: deletion needs to know about *alternative* derivations too.
+FireCallback = Callable[["CompiledRule", dict], None]
+
 
 def fixpoint(
     rules: Iterable,
@@ -52,6 +60,7 @@ def fixpoint(
     *,
     index: Optional[RelationIndex] = None,
     on_derive: Optional[DeriveCallback] = None,
+    on_fire: Optional[FireCallback] = None,
     ignore_negation: bool = False,
     negative_against: Optional[RelationIndex] = None,
     max_atoms: Optional[int] = None,
@@ -74,6 +83,14 @@ def fixpoint(
     on_derive:
         Invoked as ``on_derive(atom, rule, assignment)`` for every atom newly
         added by a rule firing (not for the seed facts).
+    on_fire:
+        Invoked as ``on_fire(compiled_rule, assignment)`` for **every**
+        enumerated firing, whether or not its heads are new.  Semi-naive
+        evaluation enumerates each ground firing at least once (in the round
+        after its last body atom arrives) and possibly several times (once
+        per delta position of that round); callers that need exact support
+        sets must deduplicate — :class:`repro.engine.maintenance.SupportTable`
+        does.  Opt-in: when ``None`` (default) no per-firing work happens.
     ignore_negation:
         Drop negative body literals (the positive-closure approximation).
     negative_against:
@@ -112,6 +129,8 @@ def fixpoint(
             for assignment in enumerate_matches(
                 rule, target, negative_against=negative_against, statistics=statistics
             ):
+                if on_fire is not None:
+                    on_fire(rule, assignment)
                 for head in rule.heads:
                     derive(head, rule, assignment)
 
@@ -159,6 +178,8 @@ def fixpoint(
                     )
         first_round = False
         for rule, assignment in pending:
+            if on_fire is not None:
+                on_fire(rule, assignment)
             for head in rule.heads:
                 derive(apply_substitution(head, assignment), rule, assignment)
     return target

@@ -53,6 +53,21 @@ class EngineStatistics:
     pattern_tables_copied:
         Copy-on-write duplications of a shared pattern table, triggered by a
         post-snapshot write to its relation.
+    supports_recorded:
+        Derivation records registered in a
+        :class:`~repro.engine.maintenance.SupportTable` (one per distinct
+        rule firing; re-discoveries of a known firing are not counted).
+    deltas_applied:
+        :meth:`~repro.engine.maintenance.MaterializedView.apply_delta` calls
+        (each call maintains a materialisation under a batch of base-fact
+        additions/deletions instead of recomputing it).
+    overdeletions:
+        Atoms tentatively deleted by the Delete-and-Rederive pass of a
+        recursive stratum (before rederivation rescues the survivors).
+    rederivations:
+        Overdeleted atoms rescued because an alternative derivation
+        survived.  Bounded by the affected derivation cone of the deleted
+        facts — never by |DB| — which is the point of the maintenance layer.
     """
 
     triggers_fired: int = 0
@@ -67,6 +82,10 @@ class EngineStatistics:
     forks_created: int = 0
     pattern_tables_shared: int = 0
     pattern_tables_copied: int = 0
+    supports_recorded: int = 0
+    deltas_applied: int = 0
+    overdeletions: int = 0
+    rederivations: int = 0
 
     def merge(self, other: "EngineStatistics") -> None:
         """Accumulate the counters of *other* into this object."""

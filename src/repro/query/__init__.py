@@ -16,8 +16,11 @@ scale with the relevant sub-database instead:
   :func:`~repro.engine.seminaive.fixpoint` driver;
 * :mod:`~repro.query.session` — :class:`QuerySession`: memoised compiled
   plans (keyed on program digest × query adornment), an LRU answer cache
-  invalidated on mutation, and a graceful fallback to cautious stable-model
-  reasoning outside the rewritable fragment.
+  repaired in place on mutation (each plan keeps one incrementally
+  maintained :class:`~repro.engine.maintenance.MaterializedView`; deletions
+  cascade through derivation counts instead of re-deriving), and a graceful
+  fallback to cautious stable-model reasoning outside the rewritable
+  fragment.
 
 See ``docs/query-answering.md`` for a worked tutorial.
 """

@@ -155,10 +155,38 @@ class MagicProgram:
         )
         return self.collect_answers(index)
 
-    def collect_answers(self, index: RelationIndex) -> frozenset[Tuple[Term, ...]]:
-        """The answer tuples recorded in an evaluated index."""
+    def collect_answers(
+        self,
+        index: RelationIndex,
+        constants: Optional[Sequence[Constant]] = None,
+    ) -> frozenset[Tuple[Term, ...]]:
+        """The answer tuples recorded in an evaluated index.
+
+        The goal relation carries the plan's parameters after the answer
+        positions, so one index can hold the derivations of **several seeds**
+        at once (magic programs are monotone in their seeds — every magic or
+        adorned predicate occurs only positively).  Pass *constants* to
+        collect only the answers of that seed; with ``None`` every goal atom
+        is collected, which is only meaningful for single-seed evaluations
+        (the historical behaviour of ``evaluate``/``evaluate_on``).
+        """
         answers: Set[Tuple[Term, ...]] = set()
-        for atom in index.candidates(self.goal.renamed):
+        wanted = tuple(constants) if constants is not None else None
+        if wanted:
+            # Indexed lookup on the parameter suffix: the goal tuples of one
+            # seed come out of a hash bucket, so collecting stays O(answers
+            # of this seed) no matter how many seeds share the index.
+            pattern = Atom(
+                self.goal.renamed,
+                tuple(Variable(f"$A{i}") for i in range(self.answer_arity))
+                + wanted,
+            )
+            pool = index.candidates_for(pattern)
+        else:
+            pool = index.candidates(self.goal.renamed)
+        for atom in pool:
+            if wanted is not None and atom.terms[self.answer_arity:] != wanted:
+                continue
             answer = atom.terms[: self.answer_arity]
             # Mirror ConjunctiveQuery.answers: non-Boolean answers must be
             # tuples of constants (nulls from chase-produced facts are not

@@ -15,11 +15,24 @@ fact base plus a fixed rule set and answers conjunctive queries through
   snapshot, so an answer-cache miss costs O(relevant facts), never a fresh
   O(|DB|) re-index of the fact base;
 * an **answer cache** — an LRU of answer sets keyed on the concrete query.
-  Invalidation is **predicate-level**: every cached answer carries the
-  dependency cone of its plan, and a mutation only evicts the answers whose
-  cone intersects the mutated predicates (the revision still advances and a
-  fresh snapshot is taken lazily).  Sessions outside the rewritable fragment
-  fall back to wholesale eviction — without a plan there is no cone.
+  On mutation, cached answers whose dependency cone misses the mutated
+  predicates survive untouched; answers whose cone is hit are **repaired in
+  place** from the plan's incrementally maintained
+  :class:`~repro.engine.maintenance.MaterializedView` (see below) rather
+  than evicted.  Cone *invalidation* (eviction) remains the fallback when no
+  derivation counts were recorded — maintenance disabled, a namespace
+  collision forced the streaming path, or the fallback (non-stratified)
+  mode, which has no plans and evicts wholesale;
+* a **materialised view per cached plan** — with ``maintenance=True`` (the
+  default) each compiled plan owns one
+  :class:`~repro.engine.maintenance.MaterializedView` of its magic program
+  over the plan's dependency cone of the fact base.  A cache miss injects
+  the query's magic seed as a *delta* (incremental, monotone), and
+  ``add_facts``/``remove_facts`` repair the view — counting for
+  non-recursive strata, Delete-and-Rederive for recursive ones — in time
+  proportional to the affected cone instead of re-deriving.  The
+  ``answers_repaired`` / ``deltas_applied`` / ``rederivations`` counters
+  make the repair path observable.
 
 For programs outside the stratified Datalog¬ fragment (existential rules,
 negative cycles) the session degrades gracefully: with ``fallback=True``
@@ -38,15 +51,15 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Set, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom, Predicate
 from ..core.database import Database
 from ..core.queries import ConjunctiveQuery
 from ..core.terms import Constant, Term
-from ..engine import RelationIndex, RelationSnapshot
+from ..engine import MaterializedView, RelationIndex, RelationSnapshot
 from ..engine.stats import EngineStatistics
-from ..errors import StratificationError, UnsupportedClassError
+from ..errors import SolverLimitError, StratificationError, UnsupportedClassError
 from .magic import MagicProgram, canonicalize_query, magic_rewrite
 from .stratify import (
     evaluate_stratified,
@@ -218,12 +231,17 @@ def full_fixpoint_answers(
 class SessionStatistics:
     """Cache and engine counters of one :class:`QuerySession`.
 
-    ``invalidations`` counts mutations that triggered any eviction pass;
-    ``predicate_invalidations`` the passes that used dependency cones, and
-    ``wholesale_invalidations`` the conservative clear-everything passes
+    ``invalidations`` counts mutations that triggered any eviction/repair
+    pass; ``predicate_invalidations`` the passes that used dependency cones,
+    and ``wholesale_invalidations`` the conservative clear-everything passes
     (sessions without plans — fallback mode).  ``answers_retained`` counts
     cached answers that *survived* a mutation because their cone was
-    disjoint from the mutated predicates.
+    disjoint from the mutated predicates; ``answers_repaired`` counts cached
+    answers whose cone *was* hit but that were recomputed in place from the
+    plan's incrementally repaired materialised view instead of being
+    evicted.  ``views_built`` counts the O(cone) view constructions — one
+    per plan, not per mutation; the per-mutation work appears as
+    ``deltas_applied``/``rederivations`` on the ``engine`` counters.
     """
 
     plan_hits: int = 0
@@ -235,12 +253,36 @@ class SessionStatistics:
     predicate_invalidations: int = 0
     wholesale_invalidations: int = 0
     answers_retained: int = 0
+    answers_repaired: int = 0
+    views_built: int = 0
     engine: EngineStatistics = field(default_factory=EngineStatistics)
 
 
 #: Public alias: query-facing callers read these counters per query session,
 #: mirroring ``EngineStatistics`` on the storage side.
 QueryStatistics = SessionStatistics
+
+
+@dataclass
+class _PlanView:
+    """One plan's maintained materialisation plus the seeds injected so far.
+
+    The view holds the magic program evaluated over the plan's dependency
+    cone of the session facts; each distinct constant vector adds its magic
+    seed once (``seeds``), as an incremental delta — magic programs are
+    monotone in their seeds, and the goal relation carries the parameters,
+    so per-seed answers are recovered by a filtered scan.
+
+    ``seeds`` is LRU-ordered: a session serving unboundedly many distinct
+    constants would otherwise grow the view without bound, so past the
+    session's seed cap the coldest seed is *pruned* — removed from the view
+    as a deletion delta, which cascades its magic cone away in O(cone), no
+    rebuild.  Cached answers of a pruned seed stay valid until the next
+    relevant mutation, whose repair pass evicts them (their seed is gone).
+    """
+
+    view: MaterializedView
+    seeds: "OrderedDict[Atom, None]" = field(default_factory=OrderedDict)
 
 
 class QuerySession:
@@ -261,15 +303,28 @@ class QuerySession:
         cautious stable-model reasoning instead of raising (default).  The
         extra keyword arguments accepted by :func:`repro.stable.cautious_answers`
         can be supplied via *stable_options*.
+    maintenance:
+        Keep one incrementally maintained
+        :class:`~repro.engine.maintenance.MaterializedView` per compiled
+        plan (default).  Cache misses then evaluate by injecting the magic
+        seed as a delta into the plan's view, and mutations — **deletions
+        included** — repair the view and the affected cached answers in
+        place instead of re-deriving.  With ``maintenance=False`` the
+        session uses the PR 3 behaviour: every miss evaluates into a
+        throwaway overlay fork of the current revision's snapshot, and a
+        mutation evicts the cone-intersecting answers.
     max_atoms:
-        Optional budget threaded into every evaluation.
+        Optional budget, enforced per evaluation.  On the maintained-view
+        path the shared view also carries the budget; when the cumulative
+        cones of previously injected seeds trip it, the session drops the
+        view and re-answers the query on a throwaway fork, so only a query
+        that exceeds the budget *on its own* raises
+        :class:`~repro.errors.SolverLimitError`.
 
     The facts live in one persistent :class:`~repro.engine.index.RelationIndex`
-    head.  Every revision (mutation epoch) lazily takes one immutable
-    snapshot; each answer-cache miss forks that snapshot and evaluates the
-    magic program into the fork, sharing the head's already-built hash
-    tables — steady-state selective queries therefore do no per-query
-    O(|DB|) work.
+    head.  Steady-state selective queries do no per-query O(|DB|) work on
+    either path: the fork path shares the head's already-built hash tables,
+    and the view path touches only the delta cone of the new seed.
 
     For stratified Datalog¬ the unique stable model is the perfect model, so
     :meth:`answers` returns exactly the certain (= brave = perfect-model)
@@ -285,6 +340,7 @@ class QuerySession:
         answer_cache_size: int = 256,
         fallback: bool = True,
         stable_options: Optional[dict] = None,
+        maintenance: bool = True,
         max_atoms: Optional[int] = None,
     ) -> None:
         facts = database.atoms if isinstance(database, Database) else database
@@ -307,13 +363,22 @@ class QuerySession:
         )
         self._plan_cache_size = max(1, plan_cache_size)
         self._answer_cache_size = max(1, answer_cache_size)
+        #: seeds retained per plan view; past it the coldest seed is pruned
+        #: from the view as a deletion delta (see _PlanView)
+        self._view_seed_cap = max(256, answer_cache_size)
         self._fallback = fallback
         self._stable_options = dict(stable_options or {})
+        self._maintenance = maintenance
         self._max_atoms = max_atoms
         self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
-        #: query -> (answers, dependency cone or None)
+        #: plan key -> (MaterializedView over the plan's cone, injected seeds)
+        self._views: "OrderedDict[tuple, _PlanView]" = OrderedDict()
+        #: query -> (answers, dependency cone or None, plan key or None);
+        #: the plan key is set only when the answer came from a view and can
+        #: therefore be repaired in place on mutation.
         self._answers: OrderedDict[
-            ConjunctiveQuery, Tuple[frozenset, Optional[frozenset[Predicate]]]
+            ConjunctiveQuery,
+            Tuple[frozenset, Optional[frozenset[Predicate]], Optional[tuple]],
         ] = OrderedDict()
         self._revision = 0
         # Decide once whether the rules are in the rewritable fragment; keep
@@ -351,37 +416,45 @@ class QuerySession:
     def add_facts(self, atoms: Iterable[Atom]) -> int:
         """Insert facts; returns the number actually new.
 
-        Only cached answers whose dependency cone intersects the mutated
-        predicates are invalidated.
+        Cached answers whose dependency cone misses the mutated predicates
+        survive; the rest are repaired in place from their plan's maintained
+        view (maintenance mode) or evicted (fallback).
         """
-        touched: Set[Predicate] = set()
-        added = 0
+        added: list[Atom] = []
         for atom in atoms:
             if self._index.add(atom):
-                added += 1
-                touched.add(atom.predicate)
+                added.append(atom)
         if added:
-            self._invalidate(touched)
-        return added
+            self._mutate(added=added)
+        return len(added)
 
     def remove_facts(self, atoms: Iterable[Atom]) -> int:
         """Remove facts; returns the number actually removed.
 
         Removal maintains the base index in place (no tombstones: the head's
-        backend supports deletion), with the same predicate-level answer
-        invalidation as :meth:`add_facts`.
+        backend supports deletion).  With maintenance on, each plan's
+        materialised view absorbs the deletion as a delta — counting /
+        Delete-and-Rederive, cost proportional to the affected cone — and
+        the intersecting cached answers are repaired in place
+        (``answers_repaired``); the dependency-cone *eviction* of PR 3 is
+        now only the fallback when no derivation counts were recorded.
         """
-        touched: Set[Predicate] = set()
-        removed = 0
+        removed: list[Atom] = []
         for atom in atoms:
             if self._index.remove(atom):
-                removed += 1
-                touched.add(atom.predicate)
+                removed.append(atom)
         if removed:
-            self._invalidate(touched)
-        return removed
+            self._mutate(removed=removed)
+        return len(removed)
 
-    def _invalidate(self, predicates: Optional[Set[Predicate]] = None) -> None:
+    def _mutate(
+        self,
+        added: Sequence[Atom] = (),
+        removed: Sequence[Atom] = (),
+    ) -> None:
+        """Advance the revision and repair (or invalidate) derived state."""
+        touched = {atom.predicate for atom in added}
+        touched.update(atom.predicate for atom in removed)
         self._revision += 1
         self._snapshot = None
         self._overlay_safety.clear()
@@ -389,18 +462,56 @@ class QuerySession:
         # it empty so it never pins atoms across revisions.
         self._index.compact(self._index.tick())
         self.statistics.invalidations += 1
-        if predicates is None or not self._rewritable:
+        if not self._rewritable:
             # No dependency cones without plans: evict everything.
             self._answers.clear()
             self.statistics.wholesale_invalidations += 1
             return
+        # Repair every maintained view first (O(affected cone) each), so the
+        # answer pass below can re-read repaired materialisations.
+        for key in list(self._views):
+            entry = self._views[key]
+            plan = self._plans.get(key)
+            if plan is None or plan.depends is None:  # pragma: no cover - guard
+                del self._views[key]
+                continue
+            relevant_added = [a for a in added if a.predicate in plan.depends]
+            relevant_removed = [a for a in removed if a.predicate in plan.depends]
+            if relevant_added or relevant_removed:
+                try:
+                    entry.view.apply_delta(
+                        additions=relevant_added, deletions=relevant_removed
+                    )
+                except SolverLimitError:
+                    # The repair blew the max_atoms budget: drop the view and
+                    # let the answer pass below evict its answers (they are
+                    # re-evaluated — and the budget re-enforced — on the
+                    # next miss).  A mutation itself must never raise.
+                    del self._views[key]
         self.statistics.predicate_invalidations += 1
-        for key in list(self._answers):
-            _, depends = self._answers[key]
-            if depends is None or not predicates.isdisjoint(depends):
-                del self._answers[key]
-            else:
+        for cache_key in list(self._answers):
+            _, depends, plan_key = self._answers[cache_key]
+            if depends is not None and touched.isdisjoint(depends):
                 self.statistics.answers_retained += 1
+                continue
+            entry = self._views.get(plan_key) if plan_key is not None else None
+            plan = self._plans.get(plan_key) if plan_key is not None else None
+            if entry is not None and plan is not None:
+                _, _, constants = canonicalize_query(cache_key)
+                # Repairable only while the view still holds this answer's
+                # seed (a rebuilt or budget-dropped view starts seedless —
+                # collecting from it would silently return nothing).
+                if plan.program.seed(constants) in entry.seeds:
+                    # Repair in place: the view is already consistent with
+                    # the new fact base, so the answer is one filtered scan
+                    # of its goal relation — no re-derivation.
+                    repaired = plan.program.collect_answers(
+                        entry.view.index, constants
+                    )
+                    self._answers[cache_key] = (repaired, depends, plan_key)
+                    self.statistics.answers_repaired += 1
+                    continue
+            del self._answers[cache_key]
 
     def _ensure_snapshot(self) -> RelationSnapshot:
         if self._snapshot is None:
@@ -410,6 +521,10 @@ class QuerySession:
     # ------------------------------------------------------------------ plans
     def plan_for(self, query: ConjunctiveQuery) -> QueryPlan:
         """The memoised compiled plan for the query's shape."""
+        return self._plan_entry(query)[1]
+
+    def _plan_entry(self, query: ConjunctiveQuery) -> Tuple[tuple, QueryPlan]:
+        """The plan *and* its cache key (the key also addresses its view)."""
         if not self._rewritable:
             assert self._scope_error is not None
             raise self._scope_error
@@ -418,7 +533,7 @@ class QuerySession:
         if plan is not None:
             self._plans.move_to_end(key)
             self.statistics.plan_hits += 1
-            return plan
+            return key, plan
         self.statistics.plan_misses += 1
         assert self._normal is not None  # rewritable implies normalised
         plan = QueryPlan(
@@ -429,8 +544,36 @@ class QuerySession:
         )
         self._plans[key] = plan
         while len(self._plans) > self._plan_cache_size:
-            self._plans.popitem(last=False)
-        return plan
+            evicted_key, _ = self._plans.popitem(last=False)
+            # A view is only as alive as its plan: repairing it without the
+            # plan's cone would be blind, so it leaves the cache together.
+            self._views.pop(evicted_key, None)
+        return key, plan
+
+    def _view_entry(self, key: tuple, plan: QueryPlan) -> _PlanView:
+        """The plan's maintained view, built once over its dependency cone."""
+        entry = self._views.get(key)
+        if entry is None:
+            if plan.depends is None:
+                facts = list(self._index)
+            else:
+                # Per-predicate fetch keeps construction O(cone), not O(|DB|).
+                facts = [
+                    atom
+                    for predicate in plan.depends
+                    for atom in self._index.candidates(predicate)
+                ]
+            view = MaterializedView(
+                plan.program.rules,
+                facts,
+                stratification=plan.program.stratification,
+                statistics=self.statistics.engine,
+                max_atoms=self._max_atoms,
+            )
+            entry = _PlanView(view=view)
+            self._views[key] = entry
+            self.statistics.views_built += 1
+        return entry
 
     # ---------------------------------------------------------------- answers
     def answers(self, query: ConjunctiveQuery) -> frozenset[Tuple[Term, ...]]:
@@ -444,8 +587,8 @@ class QuerySession:
             self.statistics.answer_hits += 1
             return cached[0]
         self.statistics.answer_misses += 1
-        result, depends = self._compute(query)
-        self._answers[cache_key] = (result, depends)
+        result, depends, plan_key = self._compute(query)
+        self._answers[cache_key] = (result, depends, plan_key)
         while len(self._answers) > self._answer_cache_size:
             self._answers.popitem(last=False)
         return result
@@ -460,17 +603,67 @@ class QuerySession:
 
     def _compute(
         self, query: ConjunctiveQuery
-    ) -> Tuple[frozenset, Optional[frozenset[Predicate]]]:
+    ) -> Tuple[frozenset, Optional[frozenset[Predicate]], Optional[tuple]]:
         if self._rewritable:
             try:
-                plan = self.plan_for(query)
+                plan_key, plan = self._plan_entry(query)
             except UnsupportedClassError:
                 # The *query* leaves the fragment (nulls, function terms)
                 # even though the rules are rewritable; the homomorphism
                 # matcher of the stable path evaluates such queries fine.
                 if not self._fallback:
                     raise
-                return self._fallback_answers(query), None
+                return self._fallback_answers(query), None, None
+            if self._maintenance and self._overlay_safe(plan):
+                # Maintained-view path: inject this query's magic seed as an
+                # incremental delta (a no-op for an already-seen constant
+                # vector) and read the goal relation filtered to it.  The
+                # answer is tagged with the plan key so later mutations can
+                # repair it in place.
+                entry = self._view_entry(plan_key, plan)
+                _, _, constants = canonicalize_query(query)
+                seed = plan.program.seed(constants)
+                if seed in entry.seeds:
+                    entry.seeds.move_to_end(seed)  # LRU recency
+                else:
+                    try:
+                        entry.view.apply_delta(additions=[seed])
+                    except SolverLimitError:
+                        # The shared view accumulates every seed's derivation
+                        # cone, so the budget can trip on a query that fits on
+                        # its own under the documented per-evaluation
+                        # semantics.  A half-injected seed would also leave
+                        # the view silently under-derived for this constant
+                        # vector forever: drop the view and answer this query
+                        # on a throwaway fork instead, which enforces
+                        # max_atoms per evaluation — only a genuinely
+                        # over-budget query still raises.
+                        self._views.pop(plan_key, None)
+                        result = plan.execute_on(
+                            self._ensure_snapshot(),
+                            query,
+                            max_atoms=self._max_atoms,
+                            statistics=self.statistics.engine,
+                        )
+                        return result, plan.depends, None
+                    # Recorded only after the cascade succeeded.
+                    entry.seeds[seed] = None
+                result = plan.program.collect_answers(entry.view.index, constants)
+                if len(entry.seeds) > self._view_seed_cap:
+                    try:
+                        while len(entry.seeds) > self._view_seed_cap:
+                            # Prune the coldest seed: its magic cone cascades
+                            # away as a deletion delta (O(cone), no rebuild),
+                            # bounding the view's growth in a long session.
+                            cold, _ = entry.seeds.popitem(last=False)
+                            entry.view.apply_delta(deletions=[cold])
+                    except SolverLimitError:
+                        # A half-pruned view must never stay registered (it
+                        # would silently under-answer); the answer already
+                        # collected above is still valid, so drop the view
+                        # and let the next miss rebuild it cleanly.
+                        self._views.pop(plan_key, None)
+                return result, plan.depends, plan_key
             if self._overlay_safe(plan):
                 result = plan.execute_on(
                     self._ensure_snapshot(),
@@ -482,17 +675,19 @@ class QuerySession:
                 # A base predicate name embeds the plan's namespace infix
                 # (adversarial or wildly unusual input): fall back to the
                 # streaming path, which filters such facts per evaluation.
+                # No derivation counts are recorded here, so such answers
+                # stay evict-on-mutation (no plan key tag).
                 result = plan.execute_for(
                     self._index,
                     query,
                     max_atoms=self._max_atoms,
                     statistics=self.statistics.engine,
                 )
-            return result, plan.depends
+            return result, plan.depends, None
         if not self._fallback:
             assert self._scope_error is not None
             raise self._scope_error
-        return self._fallback_answers(query), None
+        return self._fallback_answers(query), None, None
 
     def _overlay_safe(self, plan: QueryPlan) -> bool:
         """No base predicate collides with the plan's generated namespace.

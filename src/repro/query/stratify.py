@@ -26,7 +26,7 @@ unstratified re-checks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom, Literal, Predicate
@@ -189,11 +189,20 @@ class Stratification:
         (extensional predicates sit in stratum 0).
     graph:
         The predicate dependency graph the strata were computed from.
+    component_of:
+        The dependency-graph SCC id of every predicate.  Two predicates in
+        the same component are mutually recursive; a rule is *recursive*
+        iff its head shares a component with one of its positive body
+        predicates — the test :class:`repro.engine.maintenance.MaterializedView`
+        uses to pick counting vs Delete-and-Rederive per stratum (stratum
+        equality would be wrong: positive edges never raise strata, so
+        unrelated non-recursive predicates routinely share a stratum).
     """
 
     strata: Tuple[Tuple[NormalRule, ...], ...]
     stratum_of: Dict[Predicate, int]
     graph: DependencyGraph
+    component_of: Dict[Predicate, int] = field(default_factory=dict)
 
     @property
     def is_definite(self) -> bool:
@@ -249,7 +258,7 @@ def stratify(rules) -> Stratification:
     for rule in normal:
         grouped[stratum_of[rule.head.predicate]].append(rule)
     return Stratification(
-        tuple(tuple(group) for group in grouped), stratum_of, graph
+        tuple(tuple(group) for group in grouped), stratum_of, graph, component
     )
 
 
@@ -262,6 +271,7 @@ def evaluate_stratified(
     statistics: Optional[EngineStatistics] = None,
     max_atoms: Optional[int] = None,
     stratification: Optional[Stratification] = None,
+    on_fire=None,
 ) -> RelationIndex:
     """Evaluate a stratified program bottom-up on the shared engine.
 
@@ -282,6 +292,10 @@ def evaluate_stratified(
         evaluation setup is O(1) in the base size instead of re-indexing
         every fact.  Mutually exclusive with *index*; *facts* then holds only
         the extra seeds (e.g. a magic seed), not the base facts.
+    on_fire:
+        Forwarded to every stratum's :func:`~repro.engine.seminaive.fixpoint`
+        call — the opt-in per-firing hook
+        :class:`repro.engine.maintenance.SupportTable` records through.
     """
     layered = stratification if stratification is not None else stratify(rules)
     if base is not None:
@@ -306,6 +320,7 @@ def evaluate_stratified(
             index=target,
             max_atoms=max_atoms,
             statistics=statistics,
+            on_fire=on_fire,
             limit_message="stratified evaluation exceeded max_atoms",
         )
     return target

@@ -123,7 +123,7 @@ class TestPredicateLevelInvalidation:
         assert session.statistics.wholesale_invalidations == 0
         assert session.statistics.answers_retained == 1
 
-    def test_related_mutation_still_invalidates(self):
+    def test_related_mutation_repairs_in_place(self):
         session = QuerySession(self.DATABASE, self.RULES)
         path_query = parse_query("?(Y) :- path(a, Y)")
         hue_query = parse_query("?(X) :- hue(X)")
@@ -132,8 +132,29 @@ class TestPredicateLevelInvalidation:
         session.add_facts(
             [Atom(Predicate("edge", 2), (Constant("c"), Constant("d")))]
         )
-        # The path answer was evicted, the hue answer survived.
+        # The hue answer survived untouched; the path answer was repaired in
+        # place from the maintained view, so the re-query is a cache *hit*
+        # that already reflects the new edge.
         assert session.statistics.answers_retained == 1
+        assert session.statistics.answers_repaired == 1
+        assert (Constant("d"),) in session.answers(path_query)
+        assert session.answers(hue_query)
+        assert session.statistics.answer_misses == 2
+        assert session.statistics.answer_hits == 2
+
+    def test_related_mutation_evicts_without_maintenance(self):
+        session = QuerySession(self.DATABASE, self.RULES, maintenance=False)
+        path_query = parse_query("?(Y) :- path(a, Y)")
+        hue_query = parse_query("?(X) :- hue(X)")
+        session.answers(path_query)
+        session.answers(hue_query)
+        session.add_facts(
+            [Atom(Predicate("edge", 2), (Constant("c"), Constant("d")))]
+        )
+        # Without derivation counts the path answer was evicted (PR 3
+        # behaviour), the hue answer survived.
+        assert session.statistics.answers_retained == 1
+        assert session.statistics.answers_repaired == 0
         assert (Constant("d"),) in session.answers(path_query)
         assert session.statistics.answer_misses == 3
         assert session.answers(hue_query)
@@ -148,9 +169,12 @@ class TestPredicateLevelInvalidation:
         session.remove_facts(
             [Atom(Predicate("edge", 2), (Constant("a"), Constant("b")))]
         )
+        # Both re-queries are hits: hue survived (disjoint cone), path was
+        # repaired in place by the deletion cascade.
         assert session.answers(path_query) == frozenset()
         assert session.answers(hue_query) == hues
-        assert session.statistics.answer_hits == 1
+        assert session.statistics.answer_hits == 2
+        assert session.statistics.answers_repaired == 1
         assert session.facts == frozenset(
             atom for atom in self.DATABASE.atoms
             if atom != Atom(Predicate("edge", 2), (Constant("a"), Constant("b")))
@@ -185,23 +209,51 @@ class TestPredicateLevelInvalidation:
 
 
 class TestZeroRebuildSteadyState:
-    """Acceptance criterion: after warm-up, an answer-cache miss performs no
-    full-index rebuild — every base access pattern is served by the shared
-    tables of the persistent per-revision snapshot."""
+    """Acceptance criterion (PR 3, preserved): after warm-up, an answer-cache
+    miss performs no full-index rebuild.  On the maintained-view path the
+    miss is a magic-seed delta into the plan's view; on the fork path
+    (``maintenance=False``) it is an overlay fork of the persistent
+    per-revision snapshot."""
 
-    def test_cache_misses_reuse_base_tables(self):
-        rules = parse_program(
-            """
-            link(X, Y) -> reachable(X, Y)
-            link(X, Z), reachable(Z, Y) -> reachable(X, Y)
-            """
-        )
-        link = Predicate("link", 2)
-        atoms = [
-            Atom(link, (Constant(f"n{i}"), Constant(f"n{i + 1}")))
+    RULES = parse_program(
+        """
+        link(X, Y) -> reachable(X, Y)
+        link(X, Z), reachable(Z, Y) -> reachable(X, Y)
+        """
+    )
+    LINK = Predicate("link", 2)
+
+    def _atoms(self):
+        return [
+            Atom(self.LINK, (Constant(f"n{i}"), Constant(f"n{i + 1}")))
             for i in range(200)
         ]
-        session = QuerySession(atoms, rules)
+
+    def test_cache_misses_are_seed_deltas_on_the_plan_view(self):
+        session = QuerySession(self._atoms(), self.RULES)
+        session.answers(parse_query("?(Y) :- reachable(n190, Y)"))  # warm-up
+        engine = session.statistics.engine
+        assert session.statistics.views_built == 1
+        warm_builds = engine.index_builds
+        assert warm_builds > 0  # the warm-up did build the view's tables
+        for i in range(180, 190):  # distinct constants: all cache misses
+            session.answers(parse_query(f"?(Y) :- reachable(n{i}, Y)"))
+        assert session.statistics.answer_misses == 11
+        # Every miss was one apply_delta (the seed) on the same view — the
+        # fact base was never re-indexed and no new plan view was built.
+        assert session.statistics.views_built == 1
+        assert engine.index_builds == warm_builds
+        assert engine.deltas_applied >= 11
+        # Mutations repair the view instead of forcing rebuilds.
+        session.add_facts(
+            [Atom(self.LINK, (Constant("n300"), Constant("n301")))]
+        )
+        session.answers(parse_query("?(Y) :- reachable(n300, Y)"))
+        assert engine.index_builds == warm_builds
+        assert session.statistics.views_built == 1
+
+    def test_cache_misses_reuse_base_tables_without_maintenance(self):
+        session = QuerySession(self._atoms(), self.RULES, maintenance=False)
         session.answers(parse_query("?(Y) :- reachable(n190, Y)"))  # warm-up
         engine = session.statistics.engine
         warm_builds = engine.index_builds
@@ -214,7 +266,7 @@ class TestZeroRebuildSteadyState:
         # Mutations advance the revision without forcing rebuilds either:
         # copy-on-write duplicates the mutated relation's tables instead.
         session.add_facts(
-            [Atom(link, (Constant("n300"), Constant("n301")))]
+            [Atom(self.LINK, (Constant("n300"), Constant("n301")))]
         )
         session.answers(parse_query("?(Y) :- reachable(n300, Y)"))
         assert engine.index_builds == warm_builds
@@ -226,8 +278,9 @@ class TestNoStaleAnswersUnderMutation:
     answer — every session answer equals a from-scratch evaluation over the
     session's current facts."""
 
+    @pytest.mark.parametrize("maintenance", [True, False])
     @pytest.mark.parametrize("seed", [3, 17])
-    def test_random_mutation_query_interleavings(self, seed):
+    def test_random_mutation_query_interleavings(self, seed, maintenance):
         import random
 
         from repro.query import full_fixpoint_answers
@@ -259,7 +312,9 @@ class TestNoStaleAnswersUnderMutation:
             parse_query("?(X) :- loud(X)"),
             parse_query("? :- path(c0, c3)"),
         ]
-        session = QuerySession(rng.sample(universe, 10), rules)
+        session = QuerySession(
+            rng.sample(universe, 10), rules, maintenance=maintenance
+        )
         for _ in range(60):
             action = rng.random()
             if action < 0.3:
@@ -274,6 +329,87 @@ class TestNoStaleAnswersUnderMutation:
                     session.facts, rules, query
                 )
                 assert session.answers(query) == expected
+
+
+class TestMaintainedViewRobustness:
+    def test_budget_overflow_on_seed_never_serves_corrupt_answers(self):
+        from repro.errors import SolverLimitError
+
+        link = Predicate("link", 2)
+        atoms = [
+            Atom(link, (Constant(f"x{i}"), Constant(f"x{i + 1}")))
+            for i in range(30)
+        ]
+        rules = parse_program(
+            """
+            link(X, Y) -> reachable(X, Y)
+            link(X, Z), reachable(Z, Y) -> reachable(X, Y)
+            """
+        )
+        session = QuerySession(atoms, rules, max_atoms=40)
+        query = parse_query("?(Y) :- reachable(x0, Y)")
+        with pytest.raises(SolverLimitError):
+            session.answers(query)
+        # The half-injected view was dropped: the same query must fail the
+        # same way again, never silently return a partial answer set.
+        with pytest.raises(SolverLimitError):
+            session.answers(query)
+
+    def test_budget_is_per_evaluation_not_cumulative_across_seeds(self):
+        # Six disjoint link-chains with transitive closure: any single
+        # query's cone fits comfortably inside the budget, but the shared
+        # maintained view accumulates every seed's cone and would trip it
+        # around the fourth query.  The budget semantics are documented as
+        # per evaluation, so every query must succeed (falling back to a
+        # throwaway fork when the cumulative view overflows) and agree with
+        # the maintenance=False baseline, in any query order.
+        link = Predicate("link", 2)
+        atoms = [
+            Atom(link, (Constant(f"n{c}_{i}"), Constant(f"n{c}_{i + 1}")))
+            for c in range(6)
+            for i in range(6)
+        ]
+        rules = parse_program(
+            """
+            link(X, Y) -> reachable(X, Y)
+            link(X, Z), reachable(Z, Y) -> reachable(X, Y)
+            """
+        )
+        maintained = QuerySession(atoms, rules, max_atoms=150)
+        baseline = QuerySession(atoms, rules, max_atoms=150, maintenance=False)
+        for c in range(6):
+            query = parse_query(f"?(Y) :- reachable(n{c}_0, Y)")
+            assert maintained.answers(query) == baseline.answers(query)
+            assert maintained.answers(query) == frozenset(
+                {(Constant(f"n{c}_{i}"),) for i in range(1, 7)}
+            )
+
+    def test_seed_pruning_past_cap_stays_correct_and_bounded(self):
+        link = Predicate("link", 2)
+        atoms = [
+            Atom(link, (Constant(f"c{i}_a"), Constant(f"c{i}_b")))
+            for i in range(30)
+        ]
+        rules = parse_program("link(X, Y) -> reachable(X, Y)")
+        session = QuerySession(atoms, rules, answer_cache_size=4)
+        session._view_seed_cap = 8  # force pruning with a small working set
+        # Far more distinct seeds than the cap: cold seeds are pruned from
+        # the view as deletion deltas, yet every answer stays correct —
+        # including re-asking a pruned constant (re-seeded incrementally)
+        # and across a mutation after pruning.
+        for i in range(30):
+            answers = session.answers(parse_query(f"?(Y) :- reachable(c{i}_a, Y)"))
+            assert answers == frozenset({(Constant(f"c{i}_b"),)})
+        view_entry = next(iter(session._views.values()))
+        assert len(view_entry.seeds) <= 8
+        assert session.answers(parse_query("?(Y) :- reachable(c0_a, Y)")) == frozenset(
+            {(Constant("c0_b"),)}
+        )
+        session.remove_facts([Atom(link, (Constant("c29_a"), Constant("c29_b")))])
+        assert session.answers(parse_query("?(Y) :- reachable(c29_a, Y)")) == frozenset()
+        assert session.answers(parse_query("?(Y) :- reachable(c28_a, Y)")) == frozenset(
+            {(Constant("c28_b"),)}
+        )
 
 
 class TestStableFastPath:
@@ -312,7 +448,7 @@ class TestCqaPlanReuse:
         assert answers == frozenset(expected)
         assert answers == frozenset({(Constant("eve"),)})
 
-    def test_base_database_indexed_once_across_repairs(self):
+    def test_repairs_run_as_deletion_deltas(self):
         from repro.engine import EngineStatistics
 
         manager = Predicate("manager", 1)
@@ -334,8 +470,38 @@ class TestCqaPlanReuse:
             database, [constraint], query, statistics=statistics
         )
         assert answers == frozenset({()})
-        # One overlay fork per repair, but the base tables were built at
-        # most once per access pattern — not once per repair.
+        # The plan was materialised once; each repair cost exactly two
+        # deltas (apply the removals, restore them) on the shared view —
+        # no per-repair plan evaluation, no per-repair re-indexing.
+        assert statistics.deltas_applied == 2 * len(repairs)
+        assert statistics.forks_created == 0
+        # Hash tables are built once per access pattern of the plan — a
+        # constant of the query shape — never once per repair.
+        assert 0 < statistics.index_builds < len(repairs)
+
+    def test_fork_per_repair_baseline_still_indexes_once(self):
+        from repro.engine import EngineStatistics
+
+        manager = Predicate("manager", 1)
+        intern = Predicate("intern", 1)
+        from repro.core.terms import Variable
+
+        x = Variable("X")
+        constraint = DenialConstraint((manager(x), intern(x)))
+        database = parse_database(
+            "manager(ann). manager(eve). manager(joe). manager(sue)."
+            " intern(ann). intern(joe). intern(sue). intern(zed)."
+        )
+        repairs = subset_repairs(database, [constraint])
+        query = parse_query("? :- manager(eve), intern(zed)")
+        statistics = EngineStatistics()
+        answers = consistent_answers(
+            database, [constraint], query,
+            incremental=False, statistics=statistics,
+        )
+        assert answers == frozenset({()})
+        # The PR 3 path: one overlay fork per repair over one shared base,
+        # base tables built at most once per access pattern.
         assert statistics.forks_created == len(repairs)
         assert statistics.snapshots_taken == 1
         assert 0 < statistics.index_builds <= 2
