@@ -81,11 +81,14 @@ from .errors import (
     ParseError,
     ReproError,
     SafetyError,
+    ServiceClosedError,
+    ServiceOverloadedError,
     SolverLimitError,
     StratificationError,
     UnsupportedClassError,
 )
 from .query import QueryPlan, QuerySession, compile_query_plan, magic_rewrite, stratify
+from .service import DatalogService, ServiceStatistics
 from .stable import (
     StableModelEngine,
     Universe,
@@ -107,6 +110,7 @@ __all__ = [
     "Constant",
     "ConjunctiveQuery",
     "Database",
+    "DatalogService",
     "DisjunctiveRuleSet",
     "EngineStatistics",
     "FunctionTerm",
@@ -128,6 +132,9 @@ __all__ = [
     "RuleSet",
     "SQLiteBackend",
     "SafetyError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "ServiceStatistics",
     "SolverLimitError",
     "StableModelEngine",
     "StratificationError",

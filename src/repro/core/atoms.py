@@ -8,6 +8,7 @@ negation is *default* negation interpreted under the stable model semantics.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -25,6 +26,20 @@ __all__ = ["Predicate", "Atom", "Literal", "Substitution", "apply_substitution"]
 
 #: A substitution maps variables (and possibly nulls) to terms.
 Substitution = Mapping[Term, Term]
+
+#: Predicate names the concrete syntax reads back unquoted: a parser name
+#: token that is not a keyword (``not`` starts a negative literal, ``exists``
+#: an existential head prefix).  Anything else renders double-quoted — the
+#: parser accepts quoted predicate names in atom position.  Aligned with the
+#: tokeniser of :mod:`repro.core.parser`; the parser fuzz suite round-trips
+#: this.  Exclusions: a name containing ``"`` is unrepresentable anywhere
+#: (the string production has no escapes), and names containing ``%``, ``#``
+#: or a newline additionally break the *program/database* productions, whose
+#: line splitting and comment stripping run before tokenisation and are not
+#: quote-aware.  Such names render quoted, best effort, and re-parsing fails
+#: loudly with ``ParseError``.
+_PLAIN_PREDICATE_RE = re.compile(r"^(?:[A-Za-z_][A-Za-z0-9_']*|\d+)$")
+_PREDICATE_KEYWORDS = frozenset({"not", "exists"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,10 +135,13 @@ class Atom:
         return Literal(self, positive=False)
 
     def __str__(self) -> str:
+        name = self.predicate.name
+        if _PLAIN_PREDICATE_RE.match(name) is None or name in _PREDICATE_KEYWORDS:
+            name = f'"{name}"'
         if not self.terms:
-            return self.predicate.name
+            return name
         args = ",".join(str(term) for term in self.terms)
-        return f"{self.predicate.name}({args})"
+        return f"{name}({args})"
 
     def sort_key(self) -> tuple:
         """Deterministic ordering key (by predicate name, arity, then terms)."""

@@ -32,7 +32,18 @@ __all__ = [
     "term_sort_key",
 ]
 
-_IDENTIFIER_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
+#: Constant names the concrete syntax reads back as the *same* constant: a
+#: parser name token that does not start upper-case (upper-case initials
+#: read back as variables).  Anything else renders double-quoted, which the
+#: parser accepts in every term position.  Aligned with the tokeniser of
+#: :mod:`repro.core.parser`; the parser fuzz suite round-trips this.
+#: Exclusions: a name containing ``"`` is unrepresentable anywhere (the
+#: string production has no escapes), and names containing ``%``, ``#`` or
+#: a newline additionally break the *program/database* productions, whose
+#: line splitting and comment stripping run before tokenisation and are not
+#: quote-aware.  Such names still render quoted, best effort, and
+#: re-parsing fails loudly with ``ParseError``.
+_PLAIN_CONSTANT_RE = re.compile(r"^(?:[a-z_][A-Za-z0-9_']*|\d+)$")
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,7 +61,7 @@ class Constant:
             raise ValueError("constant name must be non-empty")
 
     def __str__(self) -> str:  # pragma: no cover - trivial
-        if _IDENTIFIER_RE.match(self.name):
+        if _PLAIN_CONSTANT_RE.match(self.name):
             return self.name
         return f'"{self.name}"'
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import ast
 import sqlite3
+import threading
 from typing import Dict, Iterable, Iterator, List, Protocol, Sequence, Set
 
 from ..core.atoms import Atom, Predicate
@@ -450,12 +451,26 @@ class SQLiteBackend:
     memoised cache so repeated scans do not re-parse.  ``snapshot()`` returns
     a guarded view (see :class:`_GuardedSnapshotView`): branch a SQLite base
     through :class:`OverlayBackend` rather than mutating it under a snapshot.
+
+    **Threading.**  The connection is opened with ``check_same_thread=False``
+    and every statement (plus the size/sequence counters it maintains) runs
+    under one connection mutex, so a SQLite-backed index — and any snapshot
+    or overlay fork over it — can be read from threads other than the one
+    that created it, and concurrent readers never interleave on the shared
+    cursor.  The mutex serialises *statements*, not transactions: the
+    engine's one-statement-per-call usage needs nothing stronger.
     """
 
     def __init__(self, path: str = ":memory:") -> None:
         # Autocommit: every insert is durable without explicit commit calls,
         # so the data survives the connection (and the process).
-        self._connection = sqlite3.connect(path, isolation_level=None)
+        # check_same_thread=False + self._lock: sqlite3 connections are
+        # thread-bound by default, which made every cross-thread read —
+        # including reads of immutable snapshots — raise ProgrammingError.
+        self._connection = sqlite3.connect(
+            path, isolation_level=None, check_same_thread=False
+        )
+        self._lock = threading.Lock()
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS facts ("
             " predicate TEXT NOT NULL,"
@@ -497,71 +512,79 @@ class SQLiteBackend:
 
     # -------------------------------------------------------------- protocol
     def insert(self, atom: Atom) -> bool:
-        cursor = self._connection.execute(
-            "INSERT OR IGNORE INTO facts (predicate, arity, args, seq)"
-            " VALUES (?, ?, ?, ?)",
-            (atom.predicate.name, atom.predicate.arity, self._encode_atom(atom), self._seq),
-        )
-        if cursor.rowcount:
-            self._size += 1
-            self._seq += 1
-            self._mutations += 1
-            return True
-        return False
+        with self._lock:
+            cursor = self._connection.execute(
+                "INSERT OR IGNORE INTO facts (predicate, arity, args, seq)"
+                " VALUES (?, ?, ?, ?)",
+                (atom.predicate.name, atom.predicate.arity, self._encode_atom(atom), self._seq),
+            )
+            if cursor.rowcount:
+                self._size += 1
+                self._seq += 1
+                self._mutations += 1
+                return True
+            return False
 
     def remove(self, atom: Atom) -> bool:
-        cursor = self._connection.execute(
-            "DELETE FROM facts WHERE predicate = ? AND arity = ? AND args = ?",
-            (atom.predicate.name, atom.predicate.arity, self._encode_atom(atom)),
-        )
-        if cursor.rowcount:
-            self._size -= 1
-            self._mutations += 1
-            return True
-        return False
+        with self._lock:
+            cursor = self._connection.execute(
+                "DELETE FROM facts WHERE predicate = ? AND arity = ? AND args = ?",
+                (atom.predicate.name, atom.predicate.arity, self._encode_atom(atom)),
+            )
+            if cursor.rowcount:
+                self._size -= 1
+                self._mutations += 1
+                return True
+            return False
 
     def snapshot(self) -> _GuardedSnapshotView:
         return _GuardedSnapshotView(self)
 
     def __contains__(self, atom: Atom) -> bool:
-        row = self._connection.execute(
-            "SELECT 1 FROM facts WHERE predicate = ? AND arity = ? AND args = ?",
-            (atom.predicate.name, atom.predicate.arity, self._encode_atom(atom)),
-        ).fetchone()
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM facts WHERE predicate = ? AND arity = ? AND args = ?",
+                (atom.predicate.name, atom.predicate.arity, self._encode_atom(atom)),
+            ).fetchone()
         return row is not None
 
     def __len__(self) -> int:
         return self._size
 
     def __iter__(self) -> Iterator[Atom]:
-        rows = self._connection.execute(
-            "SELECT predicate, arity, args FROM facts ORDER BY seq"
-        ).fetchall()
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT predicate, arity, args FROM facts ORDER BY seq"
+            ).fetchall()
         for name, arity, args in rows:
             yield self._decode_row(name, arity, args)
 
     def atoms_of(self, predicate: Predicate) -> Sequence[Atom]:
-        rows = self._connection.execute(
-            "SELECT args FROM facts WHERE predicate = ? AND arity = ? ORDER BY seq",
-            (predicate.name, predicate.arity),
-        ).fetchall()
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT args FROM facts WHERE predicate = ? AND arity = ? ORDER BY seq",
+                (predicate.name, predicate.arity),
+            ).fetchall()
         return [
             self._decode_row(predicate.name, predicate.arity, args)
             for (args,) in rows
         ]
 
     def count(self, predicate: Predicate) -> int:
-        row = self._connection.execute(
-            "SELECT COUNT(*) FROM facts WHERE predicate = ? AND arity = ?",
-            (predicate.name, predicate.arity),
-        ).fetchone()
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM facts WHERE predicate = ? AND arity = ?",
+                (predicate.name, predicate.arity),
+            ).fetchone()
         return int(row[0])
 
     def predicates(self) -> Iterable[Predicate]:
-        rows = self._connection.execute(
-            "SELECT DISTINCT predicate, arity FROM facts"
-        ).fetchall()
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT DISTINCT predicate, arity FROM facts"
+            ).fetchall()
         return [Predicate(name, arity) for name, arity in rows]
 
     def close(self) -> None:
-        self._connection.close()
+        with self._lock:
+            self._connection.close()

@@ -41,6 +41,7 @@ without import cycles.
 
 from __future__ import annotations
 
+import threading
 from itertools import count as _count
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -579,9 +580,21 @@ class RelationSnapshot:
 
     Snapshots answer the full read surface of an index (membership, scans,
     ``candidates_for``, counts) and spawn writable branches via :meth:`fork`.
+
+    **Concurrency.**  A snapshot is safe to read from any number of threads:
+    its contents are pinned, the pattern tables it was created with are
+    immutable (head mutations copy before writing), and the only lazy state —
+    cold pattern tables built on first use — is published under a per-snapshot
+    lock with a double-checked fast path, so concurrent readers of a cold
+    access pattern serialise once on the build and then proceed lock-free.
+    Before *sharing* a snapshot across threads, call :meth:`detach`: the cold
+    builds otherwise take a fast path through the still-current head index,
+    which is single-writer state (see :meth:`detach`).  Forks spawned from a
+    shared snapshot are thread-local to their creator, as is the delta log of
+    every head; only the snapshot itself is meant to be shared.
     """
 
-    __slots__ = ("_source", "_backend", "_patterns", "_version", "_stats")
+    __slots__ = ("_source", "_backend", "_patterns", "_version", "_stats", "_lock")
 
     def __init__(
         self,
@@ -595,10 +608,29 @@ class RelationSnapshot:
         self._patterns = patterns
         self._version = version
         self._stats = source._stats if source is not None else None
+        #: serialises cold pattern-table builds; reads of built tables are
+        #: lock-free (dict get, atomic under the GIL).
+        self._lock = threading.Lock()
 
     @property
     def version(self) -> int:
         return self._version
+
+    def detach(self) -> "RelationSnapshot":
+        """Cut the link to the source head; returns ``self``.
+
+        While the head index is still at the snapshot's version, cold pattern
+        tables are built *on the head* so the work persists across revisions
+        — an optimisation that reads **and mutates** the head, which is
+        single-writer state.  A snapshot that will be read by other threads
+        while its head may concurrently mutate (the serving layer's epoch
+        publication) must be detached first: after ``detach`` every cold
+        table is built privately from the snapshot's pinned backend, under
+        the snapshot's own lock.  Tables already shared at snapshot time stay
+        shared (they are copy-on-write protected).  Idempotent.
+        """
+        self._source = None
+        return self
 
     def fork(
         self, *, statistics: Optional[EngineStatistics] = None
@@ -653,11 +685,17 @@ class RelationSnapshot:
         self, predicate: Predicate, positions: Tuple[int, ...]
     ) -> _PatternTable:
         table = self._patterns.get((predicate, positions))
-        if table is None:
+        if table is not None:
+            return table
+        with self._lock:
+            table = self._patterns.get((predicate, positions))
+            if table is not None:
+                return table
             source = self._source
             if source is not None and source._version == self._version:
                 # The head is still at our version: build (or fetch) the
                 # table there so it persists across revisions, and share it.
+                # (Single-writer path — a detach()ed snapshot never takes it.)
                 table = source._ensure_pattern(predicate, positions)
                 table.shared = True
                 if self._stats is not None:

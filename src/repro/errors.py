@@ -71,6 +71,24 @@ class InconsistentProgramError(ReproError):
     """Raised when a program is expected to have a stable model but has none."""
 
 
+class ServiceClosedError(ReproError):
+    """Raised when a mutation is submitted to a closed :class:`DatalogService`.
+
+    Reads keep working after ``close()`` — the last published epoch is
+    immutable — but the writer thread is gone, so nothing could ever apply a
+    late mutation.
+    """
+
+
+class ServiceOverloadedError(ReproError):
+    """Raised by a :class:`DatalogService` shedding write load.
+
+    Under the ``"reject"`` backpressure policy a full write queue refuses new
+    mutations immediately; under the default ``"block"`` policy this is only
+    raised when a caller-supplied enqueue timeout expires first.
+    """
+
+
 class StratificationError(ReproError):
     """Raised when a program is not stratified w.r.t. default negation.
 

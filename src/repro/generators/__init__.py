@@ -4,6 +4,7 @@ from .random_instances import (
     random_2qbf,
     random_certcol_instance,
     random_database,
+    random_query,
     random_stratified_datalog,
     random_weakly_acyclic_program,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "random_2qbf",
     "random_certcol_instance",
     "random_database",
+    "random_query",
     "random_stratified_datalog",
     "random_weakly_acyclic_program",
 ]

@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 from ..classes.position_graph import is_weakly_acyclic
 from ..core.atoms import Atom, Literal, Predicate
 from ..core.database import Database
+from ..core.queries import ConjunctiveQuery
 from ..core.rules import NTGD, RuleSet
 from ..core.terms import Constant, Variable
 from ..encodings.coloring import CertColInstance, LabelledEdge
@@ -19,6 +20,7 @@ from ..encodings.qbf import QbfLiteral, TwoQbfExists
 
 __all__ = [
     "random_database",
+    "random_query",
     "random_weakly_acyclic_program",
     "random_stratified_datalog",
     "random_2qbf",
@@ -40,6 +42,51 @@ def random_database(
         predicate = rng.choice(list(predicates))
         atoms.add(Atom(predicate, tuple(rng.choice(pool) for _ in range(predicate.arity))))
     return Database.of(atoms)
+
+
+def random_query(
+    predicates: Sequence[Predicate],
+    constants: int = 4,
+    literals: int = 2,
+    answer_variables: int = 1,
+    negation_probability: float = 0.2,
+    seed: int = 0,
+) -> ConjunctiveQuery:
+    """A random safe normal conjunctive query over the given predicates.
+
+    Bodies mix shared variables (joins) and constants; negative literals are
+    kept safe by reusing only variables already bound by a positive literal.
+    Used by the parser fuzz harness (round-trip through the concrete syntax)
+    and handy for randomised workload generation against query sessions.
+    """
+    rng = random.Random(seed)
+    pool = [Constant(f"c{i}") for i in range(max(constants, 1))]
+    variables = [Variable(f"V{i}") for i in range(max(literals * 2, 2))]
+    body: list[Literal] = []
+    bound: list[Variable] = []
+    for position in range(max(literals, 1)):
+        predicate = rng.choice(list(predicates))
+        negated = bool(bound) and position > 0 and rng.random() < negation_probability
+        terms = []
+        for _ in range(predicate.arity):
+            roll = rng.random()
+            if negated:
+                # Safety: negative literals only reuse already-bound variables
+                # (or constants).
+                if bound and roll < 0.7:
+                    terms.append(rng.choice(bound))
+                else:
+                    terms.append(rng.choice(pool))
+            elif roll < 0.5:
+                variable = rng.choice(variables)
+                terms.append(variable)
+                if variable not in bound:
+                    bound.append(variable)
+            else:
+                terms.append(rng.choice(pool))
+        body.append(Literal(Atom(predicate, tuple(terms)), not negated))
+    answers = tuple(rng.sample(bound, min(answer_variables, len(bound))))
+    return ConjunctiveQuery(tuple(body), answers)
 
 
 def random_weakly_acyclic_program(

@@ -31,6 +31,7 @@ from .session import (
     QueryPlan,
     QuerySession,
     QueryStatistics,
+    SessionEpoch,
     SessionStatistics,
     compile_query_plan,
     full_fixpoint_answers,
@@ -56,6 +57,7 @@ __all__ = [
     "QueryPlan",
     "QuerySession",
     "QueryStatistics",
+    "SessionEpoch",
     "SessionStatistics",
     "Stratification",
     "adorn_atom",

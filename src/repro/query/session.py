@@ -51,7 +51,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom, Predicate
 from ..core.database import Database
@@ -72,6 +72,7 @@ __all__ = [
     "QueryPlan",
     "QuerySession",
     "QueryStatistics",
+    "SessionEpoch",
     "SessionStatistics",
     "compile_query_plan",
     "full_fixpoint_answers",
@@ -263,6 +264,31 @@ class SessionStatistics:
 QueryStatistics = SessionStatistics
 
 
+@dataclass(frozen=True)
+class SessionEpoch:
+    """An immutable export of one session revision, safe to share.
+
+    Produced by :meth:`QuerySession.epoch`.  ``snapshot`` is a *detached*
+    :class:`~repro.engine.index.RelationSnapshot` of the fact base (cold
+    pattern tables build privately under the snapshot's own lock, never
+    through the session's mutable head), and ``answers`` is a point-in-time
+    copy of the answer cache: concrete query → answer tuples, exactly as the
+    session would return them at this revision.  Both stay valid — and
+    readable from any thread — no matter what the session does afterwards.
+
+    The mapping object itself must be treated as read-only by consumers; the
+    session never mutates it after export (it is a fresh copy per call).
+    """
+
+    revision: int
+    snapshot: RelationSnapshot
+    answers: Mapping[ConjunctiveQuery, frozenset]
+
+    def facts(self) -> frozenset[Atom]:
+        """The fact base pinned by this epoch."""
+        return self.snapshot.atoms()
+
+
 @dataclass
 class _PlanView:
     """One plan's maintained materialisation plus the seeds injected so far.
@@ -329,6 +355,17 @@ class QuerySession:
     For stratified Datalog¬ the unique stable model is the perfect model, so
     :meth:`answers` returns exactly the certain (= brave = perfect-model)
     answers; :meth:`certain_answers` is an explicit alias.
+
+    **External-synchronisation contract.**  A ``QuerySession`` is *not*
+    thread-safe: every method — reads included, because they move LRU
+    entries, build pattern tables on the mutable head, and bump counters —
+    must be called with external synchronisation (one owning thread, or a
+    caller-held lock).  What the session *does* guarantee is a safe export
+    surface: :meth:`epoch` returns an immutable :class:`SessionEpoch`
+    (detached snapshot + answer-cache copy) that any number of threads may
+    read concurrently while the owning thread keeps mutating the session.
+    :class:`repro.service.DatalogService` is the packaged single-writer /
+    many-reader arrangement built on exactly this contract.
     """
 
     def __init__(
@@ -349,6 +386,8 @@ class QuerySession:
         # The base never replays deltas; keep removals O(1) in the log.
         self._index.compact(self._index.tick())
         self._snapshot: Optional[RelationSnapshot] = None
+        #: per-revision memo of the detached snapshot exported by epoch()
+        self._export_snapshot: Optional[RelationSnapshot] = None
         #: per-revision memo of the infix-collision scan (infix -> safe?)
         self._overlay_safety: dict[str, bool] = {}
         # Materialise one-shot iterables: the rules are re-walked on every
@@ -413,6 +452,39 @@ class QuerySession:
         """``True`` iff queries run through magic-set rewriting."""
         return self._rewritable
 
+    @property
+    def rules(self):
+        """The session's (materialised) rule collection, read-only."""
+        return self._rules
+
+    def epoch(self) -> SessionEpoch:
+        """Export the current revision as an immutable :class:`SessionEpoch`.
+
+        The export is what makes the single-writer / many-reader arrangement
+        of :class:`repro.service.DatalogService` possible: the owning thread
+        calls ``epoch()`` after a mutation and hands the result to any number
+        of reader threads, which query the pinned snapshot and the cached
+        answers without ever touching the (externally synchronised) session.
+        The snapshot is :meth:`~repro.engine.index.RelationSnapshot.detach`\\ ed
+        so that even cold access patterns build privately, never through the
+        session's mutable head.  It is a *separate* snapshot from the one the
+        session's own evaluations use (both are memoised per revision and
+        share the already-built pattern tables copy-on-write): detaching the
+        session's working snapshot would disable its build-on-head table
+        persistence across revisions.  The answer mapping is a fresh copy per
+        call.  Must be called by the thread that owns the session.
+        """
+        if self._export_snapshot is None:
+            self._export_snapshot = self._index.snapshot().detach()
+        answers = {
+            query: entry[0] for query, entry in self._answers.items()
+        }
+        return SessionEpoch(
+            revision=self._revision,
+            snapshot=self._export_snapshot,
+            answers=answers,
+        )
+
     def add_facts(self, atoms: Iterable[Atom]) -> int:
         """Insert facts; returns the number actually new.
 
@@ -420,13 +492,7 @@ class QuerySession:
         survive; the rest are repaired in place from their plan's maintained
         view (maintenance mode) or evicted (fallback).
         """
-        added: list[Atom] = []
-        for atom in atoms:
-            if self._index.add(atom):
-                added.append(atom)
-        if added:
-            self._mutate(added=added)
-        return len(added)
+        return self.apply_batch((("add", atoms),))[0]
 
     def remove_facts(self, atoms: Iterable[Atom]) -> int:
         """Remove facts; returns the number actually removed.
@@ -439,13 +505,56 @@ class QuerySession:
         (``answers_repaired``); the dependency-cone *eviction* of PR 3 is
         now only the fallback when no derivation counts were recorded.
         """
-        removed: list[Atom] = []
-        for atom in atoms:
-            if self._index.remove(atom):
-                removed.append(atom)
-        if removed:
-            self._mutate(removed=removed)
-        return len(removed)
+        return self.apply_batch((("remove", atoms),))[0]
+
+    def apply_batch(
+        self, operations: Iterable[Tuple[str, Iterable[Atom]]]
+    ) -> List[int]:
+        """Apply a sequence of ``("add" | "remove", atoms)`` operations as
+        **one** logical mutation.
+
+        The operations are applied to the fact base in order, so each one
+        sees the effect of the previous ones, and the returned list carries
+        the exact per-operation counts — precisely what the corresponding
+        sequence of :meth:`add_facts` / :meth:`remove_facts` calls would
+        have returned.  But the *derived* state is settled only once, from
+        the batch's **net** fact change: one revision bump, one repair (or
+        invalidation) pass over the maintained views and cached answers,
+        instead of one per call.  An atom added and removed within the same
+        batch (or vice versa) cancels out and triggers no repair at all; a
+        batch whose net change is empty leaves the revision and every cache
+        untouched.  This is the primitive the write-coalescing queue of
+        :class:`repro.service.DatalogService` batches bursts into.
+        """
+        ops = [(kind, tuple(atoms)) for kind, atoms in operations]
+        for kind, _ in ops:
+            if kind not in ("add", "remove"):
+                raise ValueError(f"unknown batch operation {kind!r}")
+        counts: List[int] = []
+        #: atom -> net effect on the fact base (+1 added, -1 removed, 0 both)
+        net: dict[Atom, int] = {}
+        try:
+            for kind, atoms in ops:
+                count = 0
+                if kind == "add":
+                    for atom in atoms:
+                        if self._index.add(atom):
+                            count += 1
+                            net[atom] = net.get(atom, 0) + 1
+                else:
+                    for atom in atoms:
+                        if self._index.remove(atom):
+                            count += 1
+                            net[atom] = net.get(atom, 0) - 1
+                counts.append(count)
+        finally:
+            # Settle derived state even if an operation raised mid-batch:
+            # whatever reached the index must reach the views and caches.
+            added = [atom for atom, delta in net.items() if delta > 0]
+            removed = [atom for atom, delta in net.items() if delta < 0]
+            if added or removed:
+                self._mutate(added=added, removed=removed)
+        return counts
 
     def _mutate(
         self,
@@ -457,6 +566,7 @@ class QuerySession:
         touched.update(atom.predicate for atom in removed)
         self._revision += 1
         self._snapshot = None
+        self._export_snapshot = None
         self._overlay_safety.clear()
         # Nothing replays the head's delta log (forks have their own); keep
         # it empty so it never pins atoms across revisions.

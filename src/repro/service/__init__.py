@@ -1,0 +1,18 @@
+"""repro.service — concurrent snapshot-isolated query serving.
+
+The serving layer of the stack: :class:`DatalogService` owns one writer
+:class:`~repro.query.session.QuerySession` and publishes immutable
+:class:`Epoch` objects (revision → detached
+:class:`~repro.engine.index.RelationSnapshot` + frozen answer-cache view)
+through an atomic reference swap, so any number of reader threads answer
+queries lock-free on the last published epoch while a single writer thread
+applies coalesced mutation batches and incremental view repairs.  Admission
+control (bounded write queue, ``block``/``reject`` backpressure) and
+:class:`ServiceStatistics` make the serving behaviour observable.
+
+See ``docs/serving.md`` for the architecture walk-through.
+"""
+
+from .service import DatalogService, Epoch, ServiceStatistics
+
+__all__ = ["DatalogService", "Epoch", "ServiceStatistics"]

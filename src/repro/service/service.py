@@ -1,0 +1,636 @@
+"""Concurrent snapshot-isolated query serving over a :class:`QuerySession`.
+
+The rest of the stack is deliberately single-threaded: a
+:class:`~repro.query.session.QuerySession` owns mutable LRU caches, a mutable
+head index, and maintained views, all under an external-synchronisation
+contract.  This module packages the standard arrangement that turns those
+primitives into a server — **one writer, many concurrent readers over a
+versioned store**:
+
+* a single background **writer thread** owns the session.  Every mutation —
+  ``add_facts`` / ``remove_facts`` — is enqueued, applied by the writer
+  through :meth:`QuerySession.apply_batch`, and acknowledged through a
+  per-call :class:`~concurrent.futures.Future` carrying the exact count the
+  direct call would have returned;
+* after each batch the writer **publishes an epoch**: an immutable object
+  pairing the session revision with a detached
+  :class:`~repro.engine.index.RelationSnapshot` and a frozen copy of the
+  answer cache (see :meth:`QuerySession.epoch`).  Publication is one
+  attribute store — an atomic reference swap — so readers never wait for the
+  writer and the writer never waits for readers;
+* any number of **reader threads** call :meth:`DatalogService.answers`
+  concurrently on the last published epoch without ever waiting on the
+  writer or on each other's evaluations: a published or epoch-local cached
+  answer is a dictionary probe; a miss evaluates the query's compiled plan
+  against the epoch's snapshot in a private overlay fork.  (The only locks
+  a read touches are one brief counter update and, first-use-per-pattern,
+  the snapshot's cold-table build lock — never around evaluation.)  Reads
+  are snapshot-isolated — a reader observes exactly the fact base of *some*
+  published revision, never a half-applied batch — and the revision a
+  reader observes is monotone over its lifetime;
+* a **write-coalescing queue** with admission control sits in front of the
+  writer: ops enqueued while a batch is being applied ride the next batch
+  together (one ``apply_batch``, one epoch publish, per-call counts intact),
+  an optional linger window (``coalesce_window``) lets bursts amortise into
+  a single publish, and a bounded queue either blocks or rejects
+  (``backpressure``) once writers outrun the drain.
+
+Cache flow: a reader miss is memoised on its epoch (so within one epoch a
+hot query is computed once) and recorded as a *warm hint*; before the next
+publish the writer replays warm hints through the session, whose maintained
+views then repair those answers in place under future mutations — so a hot
+query's answers keep arriving pre-computed in every subsequent epoch without
+ever being recomputed from scratch.
+
+See ``docs/serving.md`` for the epoch-publication diagram and the knob
+reference, and ``benchmarks/bench_service_throughput.py`` for the measured
+reader-scaling and write-amortisation claims.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.queries import ConjunctiveQuery
+from ..core.terms import Term
+from ..engine.stats import EngineStatistics
+from ..errors import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    StratificationError,
+    UnsupportedClassError,
+)
+from ..query.session import (
+    QueryPlan,
+    QuerySession,
+    SessionEpoch,
+    _as_rule_set,
+    _query_shape,
+    compile_query_plan,
+)
+
+__all__ = ["DatalogService", "Epoch", "ServiceStatistics"]
+
+#: Bound on per-epoch memoised reader misses: a long-lived epoch (e.g. a
+#: read-only service that never publishes again) must not grow without
+#: limit.  Past the cap, misses are still answered — just not memoised.
+_EPOCH_MEMO_CAP = 4096
+
+
+@dataclass
+class ServiceStatistics:
+    """Counters of one :class:`DatalogService`.
+
+    ``epochs_published`` counts atomic epoch swaps (including the initial
+    one); ``batches_applied`` the writer drain cycles, ``batches_coalesced``
+    the drains that carried more than one enqueued op, and ``coalesced_ops``
+    the ops beyond the first in such drains — i.e. the epoch publishes (and
+    repair passes) the coalescing queue saved.  ``queue_high_water`` is the
+    largest pending-queue length observed at enqueue time.  ``reads_served``
+    counts every answered read; ``read_cache_hits`` the ones served from a
+    published or epoch-memoised answer set without evaluating anything, and
+    ``reads_fallback`` the ones answered by cautious stable-model reasoning
+    because the rules (or the query) are outside the rewritable fragment.
+    ``engine`` accumulates the per-evaluation engine counters of reader-side
+    misses (merged under the statistics lock); writer-side work lands on the
+    session's own statistics.  Cold pattern-table builds on a published
+    snapshot are deliberately unrecorded — no counter object can be updated
+    race-free from both reader and writer threads.
+    """
+
+    epochs_published: int = 0
+    reads_served: int = 0
+    read_cache_hits: int = 0
+    reads_fallback: int = 0
+    writes_enqueued: int = 0
+    batches_applied: int = 0
+    batches_coalesced: int = 0
+    coalesced_ops: int = 0
+    queue_high_water: int = 0
+    backpressure_rejections: int = 0
+    engine: EngineStatistics = field(default_factory=EngineStatistics)
+
+
+class Epoch:
+    """One published revision: an immutable fact-base + answer-cache view.
+
+    Readers obtain the current epoch with :meth:`DatalogService.epoch` (or
+    implicitly through :meth:`DatalogService.answers`) and may keep using it
+    for as long as they like — it never changes, no matter how far the
+    service's head moves on.  ``answers`` evaluates against this epoch's
+    pinned snapshot; repeated misses of the same query within one epoch are
+    memoised on the epoch (a benign-racy dictionary: two threads may both
+    compute the same frozen answer set once).
+    """
+
+    __slots__ = (
+        "revision",
+        "snapshot",
+        "_published",
+        "_memo",
+        "_infix_safety",
+        "_service",
+    )
+
+    def __init__(self, service: "DatalogService", exported: SessionEpoch) -> None:
+        self.revision: int = exported.revision
+        self.snapshot = exported.snapshot
+        # Cold pattern-table builds on the published snapshot happen on
+        # reader threads under the snapshot's own lock; recording them on
+        # the writer session's counters (racy) or the service's engine
+        # counters (guarded by a *different* lock — lost updates) would
+        # both be wrong, so they go unrecorded.  Per-evaluation reader
+        # counters are merged under the service's statistics lock instead.
+        self.snapshot._stats = None
+        self._published = exported.answers
+        self._memo: Dict[ConjunctiveQuery, frozenset] = {}
+        self._infix_safety: Dict[str, bool] = {}
+        self._service = service
+
+    def facts(self) -> frozenset[Atom]:
+        """The exact fact base of this revision."""
+        return self.snapshot.atoms()
+
+    def cached(self, query: ConjunctiveQuery) -> Optional[frozenset]:
+        """The answer set if already known on this epoch, else ``None``."""
+        result = self._published.get(query)
+        if result is None:
+            result = self._memo.get(query)
+        return result
+
+    def answers(self, query: ConjunctiveQuery) -> frozenset[Tuple[Term, ...]]:
+        """The certain answers of *query* at this revision."""
+        return self._service._read(self, query)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Epoch(revision={self.revision}, facts={len(self.snapshot)}, "
+            f"cached={len(self._published)}+{len(self._memo)})"
+        )
+
+
+class _PendingOp:
+    """One enqueued mutation awaiting the writer: kind, atoms, ack future."""
+
+    __slots__ = ("kind", "atoms", "future")
+
+    def __init__(self, kind: str, atoms: Tuple[Atom, ...]) -> None:
+        self.kind = kind
+        self.atoms = atoms
+        self.future: "Future[int]" = Future()
+
+
+class DatalogService:
+    """A thread-safe serving facade: one writer session, epoch readers.
+
+    Parameters
+    ----------
+    database / rules:
+        Forwarded to the owned :class:`~repro.query.session.QuerySession`.
+    max_pending:
+        Admission-control bound on the write queue (number of enqueued,
+        not-yet-applied ops).
+    backpressure:
+        What a full queue does to ``add_facts``/``remove_facts``:
+        ``"block"`` (default) waits for space — bounded by
+        *enqueue_timeout* seconds if given, then raising
+        :class:`~repro.errors.ServiceOverloadedError` — while ``"reject"``
+        raises immediately.
+    enqueue_timeout:
+        Optional bound, in seconds, on how long a blocked enqueue waits.
+    coalesce_window:
+        Optional linger, in seconds, between the writer waking up and
+        draining the queue; bursts submitted within the window ride one
+        batch — one ``apply_batch``, one epoch — instead of one publish
+        each.  ``0`` (default) drains immediately.
+    warm_cache:
+        Replay reader cache-misses through the session before each publish
+        (default).  Warmed answers are maintained incrementally by the
+        session's views and arrive pre-computed in every later epoch.
+    fallback / maintenance / max_atoms / session options:
+        Forwarded to the session (see :class:`QuerySession`).
+
+    The service starts its writer thread on construction and must be closed
+    (``close()`` or ``with DatalogService(...) as service:``) to release it.
+    After ``close()`` reads keep working on the last epoch; mutations raise
+    :class:`~repro.errors.ServiceClosedError`.
+    """
+
+    def __init__(
+        self,
+        database: Database | Iterable[Atom] = (),
+        rules=(),
+        *,
+        max_pending: int = 1024,
+        backpressure: str = "block",
+        enqueue_timeout: Optional[float] = None,
+        coalesce_window: float = 0.0,
+        warm_cache: bool = True,
+        plan_cache_size: int = 64,
+        fallback: bool = True,
+        maintenance: bool = True,
+        max_atoms: Optional[int] = None,
+        stable_options: Optional[dict] = None,
+    ) -> None:
+        if backpressure not in ("block", "reject"):
+            raise ValueError(
+                f"backpressure must be 'block' or 'reject', got {backpressure!r}"
+            )
+        self._session = QuerySession(
+            database,
+            rules,
+            fallback=fallback,
+            maintenance=maintenance,
+            max_atoms=max_atoms,
+            stable_options=stable_options,
+            plan_cache_size=plan_cache_size,
+        )
+        self._fallback = fallback
+        self._stable_options = dict(stable_options or {})
+        self._max_atoms = max_atoms
+        self._max_pending = max(1, max_pending)
+        self._backpressure = backpressure
+        self._enqueue_timeout = enqueue_timeout
+        self._coalesce_window = coalesce_window
+        self._warm_cache = warm_cache
+        self.statistics = ServiceStatistics()
+
+        # Reader-side compiled-plan cache: query shape -> plan (or the scope
+        # error that made compilation impossible).  Plans are immutable, the
+        # dict is only ever extended; reads are lock-free dict probes and
+        # compilation is serialised by _plan_lock.
+        self._plan_cache_size = max(1, plan_cache_size)
+        self._plans: Dict[tuple, QueryPlan] = {}
+        self._plan_failures: Dict[tuple, Exception] = {}
+        self._plan_lock = threading.Lock()
+
+        self._stats_lock = threading.Lock()
+        #: reader cache-misses to replay through the session pre-publish
+        self._hot: "OrderedDict[ConjunctiveQuery, None]" = OrderedDict()
+        self._hot_cap = 128
+
+        self._queue_lock = threading.Lock()
+        self._not_empty = threading.Condition(self._queue_lock)
+        self._not_full = threading.Condition(self._queue_lock)
+        self._pending: List[_PendingOp] = []
+        self._closed = False
+
+        self._epoch: Epoch = Epoch(self, self._session.epoch())
+        self.statistics.epochs_published = 1
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="repro-datalog-writer", daemon=True
+        )
+        self._writer.start()
+
+    # ----------------------------------------------------------------- reads
+    def epoch(self) -> Epoch:
+        """The last published epoch (atomic reference read, never blocks)."""
+        return self._epoch
+
+    def answers(self, query: ConjunctiveQuery) -> frozenset[Tuple[Term, ...]]:
+        """The certain answers of *query* on the last published epoch.
+
+        Safe to call from any number of threads; never blocks on the writer.
+        """
+        return self._read(self._epoch, query)
+
+    def read(
+        self, query: ConjunctiveQuery
+    ) -> Tuple[int, frozenset[Tuple[Term, ...]]]:
+        """Like :meth:`answers`, but also reports the revision served."""
+        epoch = self._epoch
+        return epoch.revision, self._read(epoch, query)
+
+    def holds(self, query: ConjunctiveQuery) -> bool:
+        """Boolean entailment on the last published epoch."""
+        return bool(self.answers(query))
+
+    @property
+    def facts(self) -> frozenset[Atom]:
+        """The fact base of the last published epoch."""
+        return self._epoch.facts()
+
+    @property
+    def revision(self) -> int:
+        """The revision of the last published epoch."""
+        return self._epoch.revision
+
+    def _read(
+        self, epoch: Epoch, query: ConjunctiveQuery
+    ) -> frozenset[Tuple[Term, ...]]:
+        # No lock is ever held around evaluation; counters are batched into
+        # exactly one brief statistics-lock acquisition per read.
+        cached = epoch.cached(query)
+        if cached is not None:
+            with self._stats_lock:
+                self.statistics.reads_served += 1
+                self.statistics.read_cache_hits += 1
+            return cached
+        local = EngineStatistics()
+        result, fell_back = self._evaluate(epoch, query, local)
+        if len(epoch._memo) < _EPOCH_MEMO_CAP:
+            epoch._memo[query] = result
+        with self._stats_lock:
+            self.statistics.reads_served += 1
+            if fell_back:
+                self.statistics.reads_fallback += 1
+            self.statistics.engine.merge(local)
+            # Warm only what the maintenance machinery can keep repaired:
+            # a fallback (out-of-fragment) answer has no plan or view, so
+            # replaying it would put a from-scratch stable-model evaluation
+            # on the serialised write path at every publish.
+            if (
+                self._warm_cache
+                and not fell_back
+                and len(self._hot) < self._hot_cap
+            ):
+                self._hot[query] = None
+        return result
+
+    def _evaluate(
+        self,
+        epoch: Epoch,
+        query: ConjunctiveQuery,
+        local: EngineStatistics,
+    ) -> Tuple[frozenset[Tuple[Term, ...]], bool]:
+        """Evaluate on the epoch; returns (answers, used-the-fallback)."""
+        plan, error = self._plan_for(query)
+        if plan is None:
+            assert error is not None
+            if not self._fallback:
+                raise error
+            return self._fallback_answers(epoch, query), True
+        if self._overlay_safe(epoch, plan):
+            result = plan.execute_on(
+                epoch.snapshot,
+                query,
+                max_atoms=self._max_atoms,
+                statistics=local,
+            )
+        else:
+            # A base predicate name embeds the plan's generated namespace
+            # infix; stream through the filtering evaluation path instead.
+            result = plan.execute_for(
+                epoch.snapshot,
+                query,
+                max_atoms=self._max_atoms,
+                statistics=local,
+            )
+        return result, False
+
+    def _plan_for(
+        self, query: ConjunctiveQuery
+    ) -> Tuple[Optional[QueryPlan], Optional[Exception]]:
+        """The memoised reader-side plan for the query's shape (or the
+        memoised compilation failure)."""
+        try:
+            key = _query_shape(query)
+        except UnsupportedClassError as error:
+            # Query terms outside the Datalog fragment (nulls, function
+            # terms): not memoisable by shape, fall back per query.
+            return None, error
+        plan = self._plans.get(key)
+        if plan is not None:
+            return plan, None
+        failure = self._plan_failures.get(key)
+        if failure is not None:
+            return None, failure
+        with self._plan_lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                return plan, None
+            failure = self._plan_failures.get(key)
+            if failure is not None:
+                return None, failure
+            try:
+                plan = compile_query_plan(self._session.rules, query)
+            except (UnsupportedClassError, StratificationError) as error:
+                if len(self._plan_failures) >= self._plan_cache_size:
+                    self._plan_failures.clear()
+                self._plan_failures[key] = error
+                return None, error
+            if len(self._plans) >= self._plan_cache_size:
+                # Wholesale reset: plan compilation is cheap relative to the
+                # evaluations a plan amortises, and a bounded dict with no
+                # LRU bookkeeping keeps the read path lock-free.
+                self._plans.clear()
+            self._plans[key] = plan
+            return plan, None
+
+    def _overlay_safe(self, epoch: Epoch, plan: QueryPlan) -> bool:
+        infix = plan.program.infix
+        safe = epoch._infix_safety.get(infix)
+        if safe is None:
+            safe = not any(
+                infix in predicate.name
+                for predicate in epoch.snapshot.predicates()
+            )
+            epoch._infix_safety[infix] = safe
+        return safe
+
+    def _fallback_answers(
+        self, epoch: Epoch, query: ConjunctiveQuery
+    ) -> frozenset:
+        # Deferred import: repro.stable sits above the query subsystem.
+        from ..stable import cautious_answers
+
+        return cautious_answers(
+            Database.of(epoch.facts()),
+            _as_rule_set(self._session.rules),
+            query,
+            goal_directed=False,
+            **self._stable_options,
+        )
+
+    # ---------------------------------------------------------------- writes
+    def add_facts(self, atoms: Iterable[Atom]) -> "Future[int]":
+        """Enqueue an insertion; the future resolves to the exact count of
+        atoms that were actually new when the writer applied it."""
+        return self._enqueue("add", atoms)
+
+    def remove_facts(self, atoms: Iterable[Atom]) -> "Future[int]":
+        """Enqueue a removal; the future resolves to the exact count of
+        atoms that were actually present when the writer applied it."""
+        return self._enqueue("remove", atoms)
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until everything enqueued so far is applied and published.
+
+        Implemented as a no-op barrier op riding the queue, so when it
+        resolves, every earlier mutation's epoch is visible to new reads.
+        """
+        self._enqueue("add", ()).result(timeout)
+
+    def _enqueue(self, kind: str, atoms: Iterable[Atom]) -> "Future[int]":
+        op = _PendingOp(kind, tuple(atoms))
+        deadline = (
+            time.monotonic() + self._enqueue_timeout
+            if self._enqueue_timeout is not None
+            else None
+        )
+        with self._queue_lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            while len(self._pending) >= self._max_pending:
+                if self._backpressure == "reject":
+                    with self._stats_lock:
+                        self.statistics.backpressure_rejections += 1
+                    raise ServiceOverloadedError(
+                        f"write queue full ({self._max_pending} pending ops)"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        with self._stats_lock:
+                            self.statistics.backpressure_rejections += 1
+                        raise ServiceOverloadedError(
+                            "timed out waiting for write-queue space"
+                        )
+                self._not_full.wait(remaining)
+                if self._closed:
+                    raise ServiceClosedError("service is closed")
+            self._pending.append(op)
+            depth = len(self._pending)
+            self._not_empty.notify()
+        with self._stats_lock:
+            self.statistics.writes_enqueued += 1
+            if depth > self.statistics.queue_high_water:
+                self.statistics.queue_high_water = depth
+        return op.future
+
+    # ---------------------------------------------------------------- writer
+    def _writer_loop(self) -> None:
+        while True:
+            with self._queue_lock:
+                while not self._pending and not self._closed:
+                    self._not_empty.wait()
+                if not self._pending and self._closed:
+                    return
+            if self._coalesce_window > 0:
+                # Linger: let a burst accumulate so it rides one batch (and
+                # pays for one epoch publish) instead of one publish per op.
+                time.sleep(self._coalesce_window)
+            with self._queue_lock:
+                batch = self._pending
+                self._pending = []
+                self._not_full.notify_all()
+            try:
+                self._apply(batch)
+            except BaseException as error:  # pragma: no cover - last-ditch
+                # The writer thread must survive anything: a dead writer
+                # would hang every future (and, once the queue fills, every
+                # "block"-mode caller) forever.  Fail whatever futures the
+                # broken drain left unresolved instead of stranding them.
+                for op in batch:
+                    if not op.future.done():
+                        try:
+                            op.future.set_exception(error)
+                        except Exception:
+                            pass
+                continue
+
+    def _apply(self, batch: List[_PendingOp]) -> None:
+        # Transition every future to RUNNING; a future the caller already
+        # cancelled is dropped here — its op is never applied, and a later
+        # set_result on it can no longer raise InvalidStateError.
+        batch = [
+            op for op in batch if op.future.set_running_or_notify_cancel()
+        ]
+        if not batch:
+            return
+        revision_before = self._session.revision
+        counts: Optional[List[int]] = None
+        error: Optional[BaseException] = None
+        try:
+            counts = self._session.apply_batch(
+                [(op.kind, op.atoms) for op in batch]
+            )
+        except BaseException as exc:  # pragma: no cover - defensive
+            error = exc
+        warmed = self._warm()
+        if (
+            error is not None
+            or warmed
+            or self._session.revision != revision_before
+        ):
+            # Publish even after a failed batch: apply_batch settles derived
+            # state for whatever reached the index before the failure.
+            self._publish()
+        with self._stats_lock:
+            self.statistics.batches_applied += 1
+            if len(batch) > 1:
+                self.statistics.batches_coalesced += 1
+                self.statistics.coalesced_ops += len(batch) - 1
+        # Acknowledge only after the epoch swap: a caller that waits on the
+        # future and then reads is guaranteed to observe its own write.
+        if counts is not None:
+            for op, count in zip(batch, counts):
+                op.future.set_result(count)
+        else:
+            for op in batch:
+                op.future.set_exception(error)
+
+    def _warm(self) -> int:
+        """Replay reader cache-misses through the session pre-publish."""
+        if not self._warm_cache:
+            return 0
+        with self._stats_lock:
+            if not self._hot:
+                return 0
+            queries = list(self._hot)
+            self._hot.clear()
+        warmed = 0
+        for query in queries:
+            try:
+                self._session.answers(query)
+                warmed += 1
+            except Exception:
+                # A query that cannot be answered (budget, scope) simply
+                # stays unwarmed; the reader that cares sees the error on
+                # its own evaluation path.
+                continue
+        return warmed
+
+    def _publish(self) -> None:
+        self._epoch = Epoch(self, self._session.epoch())
+        with self._stats_lock:
+            self.statistics.epochs_published += 1
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain the queue, stop the writer thread, and join it.
+
+        Ops enqueued before ``close`` are still applied and acknowledged;
+        later mutations raise :class:`~repro.errors.ServiceClosedError`.
+        Reads remain available on the last published epoch.  Idempotent.
+        """
+        with self._queue_lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        self._writer.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "DatalogService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "serving"
+        return (
+            f"DatalogService({state}, revision={self.revision}, "
+            f"facts={len(self._epoch.snapshot)})"
+        )
