@@ -1,0 +1,112 @@
+"""Observability cost model: tracing off, disabled, enabled — and explain().
+
+The contract of ``repro.obs`` is that the *disabled* path is near-free:
+instrumented seams hold ``tracer=None`` or pay one ``enabled`` attribute
+check, so installing ``Tracer(enabled=False)`` (or no tracer at all) must
+not slow evaluation down.  ``test_disabled_overhead_budget`` hard-asserts
+that budget (≤ 5% over baseline, min-of-N with retries to shrug off
+scheduler noise) — the CI ``obs`` job runs it as the overhead smoke.  The
+parametrised mode benchmark reports the enabled-tracer cost alongside for
+reference, and ``test_explain_cost`` prices the per-rule profiler.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import parse_database, parse_program, parse_query
+from repro.obs import Tracer, use_tracer
+from repro.query import QuerySession
+
+RULES = parse_program(
+    """
+    edge(X, Y) -> path(X, Y)
+    edge(X, Z), path(Z, Y) -> path(X, Y)
+    """
+)
+CHAIN = 48
+DATABASE = parse_database(
+    " ".join(f"edge(n{i}, n{i + 1})." for i in range(CHAIN))
+)
+QUERY = parse_query("?(Y) :- path(n0, Y)")
+
+# Sessions register their statistics into the global registry *weakly*; a
+# session that dies before conftest's counter-delta fixture takes its
+# after-snapshot takes its counters with it.  Keeping the most recent ones
+# alive lets the uniform per-bench counter attribution see this module's
+# own session_* work (one list append per run — symmetric across the
+# baseline/disabled/enabled modes the overhead gate compares).
+_KEEPALIVE: list = []
+
+
+def _keep(session):
+    _KEEPALIVE.append(session)
+    if len(_KEEPALIVE) > 128:
+        del _KEEPALIVE[:64]
+    return session
+
+
+def _workload():
+    """One cold selective evaluation: magic rewrite + stratified fixpoint.
+
+    ``maintenance=False`` takes the traced fixpoint path (the default
+    maintained-view path answers through view deltas), so this exercises
+    every per-round span guard in the hot loop.
+    """
+    session = _keep(QuerySession(DATABASE, RULES, maintenance=False))
+    answers = session.answers(QUERY)
+    assert len(answers) == CHAIN
+    return answers
+
+
+def _min_time(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("mode", ["baseline", "disabled", "enabled"])
+def test_tracer_mode_cost(benchmark, mode):
+    """Wall-clock of the workload under each tracer configuration."""
+    if mode == "baseline":
+        benchmark(_workload)
+    elif mode == "disabled":
+        with use_tracer(Tracer(enabled=False)):
+            benchmark(_workload)
+    else:
+        tracer = Tracer(capacity=8192)
+        with use_tracer(tracer):
+            benchmark(_workload)
+        assert tracer.spans("engine.fixpoint.round")
+
+
+def test_disabled_overhead_budget():
+    """Hard gate: a disabled tracer costs ≤ 5% over no tracer at all."""
+    budget = 1.05
+    _workload()  # warm rule-compilation and plan caches
+    baseline = disabled = float("inf")
+    for _ in range(5):
+        baseline = _min_time(_workload)
+        with use_tracer(Tracer(enabled=False)):
+            disabled = _min_time(_workload)
+        if disabled <= baseline * budget:
+            return
+    pytest.fail(
+        f"disabled-tracer overhead {disabled / baseline - 1.0:+.1%} "
+        f"exceeds the {budget - 1.0:.0%} budget "
+        f"(baseline {baseline * 1e3:.2f}ms, disabled {disabled * 1e3:.2f}ms)"
+    )
+
+
+def test_explain_cost(benchmark):
+    """Price of a profiled evaluation, and that it actually attributes."""
+    session = _keep(QuerySession(DATABASE, RULES))
+    report = benchmark(lambda: session.explain(QUERY, top=5))
+    assert report.strata
+    assert report.hot_rules and report.hot_rules[0].seconds >= 0.0
+    assert sum(profile.tuples for profile in report.hot_rules) > 0

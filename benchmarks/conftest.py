@@ -13,7 +13,41 @@ from __future__ import annotations
 import pytest
 
 from repro import Constant, parse_database, parse_program, parse_query
+from repro.obs import global_registry
 from repro.stable import Universe
+
+
+@pytest.fixture(autouse=True)
+def _obs_counter_deltas(request):
+    """Attach per-benchmark counter deltas from the global metrics registry.
+
+    Sessions, services and the chase register their statistics into
+    ``repro.obs.global_registry()``, so diffing a snapshot taken before the
+    test against one taken after yields exactly the counter work the
+    benchmark caused.  The deltas land in ``benchmark.extra_info`` (under
+    ``"metrics"``), which ``run_all.py`` already surfaces as ``counters``
+    in BENCH_results.json — uniformly, for every benchmark, without each
+    module hand-picking which statistics to record.
+    """
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    before = global_registry().snapshot()
+    yield
+    if benchmark is None:
+        return
+    diff = global_registry().snapshot().diff(before)
+    deltas = {
+        name: value
+        for name, value in sorted(diff.counters.items())
+        # Sources are weakly held: a session collected mid-test can make a
+        # summed counter shrink.  Only positive interval work is reported.
+        if value > 0
+    }
+    if deltas:
+        benchmark.extra_info.setdefault("metrics", {}).update(deltas)
 
 
 @pytest.fixture(scope="session")

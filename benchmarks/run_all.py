@@ -77,10 +77,11 @@ def run_module(module: Path, quick: bool) -> dict:
                 "mean_s": bench["stats"]["mean"],
                 "stddev_s": bench["stats"]["stddev"],
                 "rounds": bench["stats"]["rounds"],
-                # Benchmarks attach engine counters (deltas_applied,
-                # rederivations, ...) via benchmark.extra_info; surface them
-                # so the CI bench smoke records the maintenance work, not
-                # just the wall clock.
+                # conftest.py's autouse fixture diffs the global metrics
+                # registry around every benchmark (plus any counters a
+                # module attaches by hand) via benchmark.extra_info;
+                # surface them so the CI bench smoke records the engine /
+                # session / service work, not just the wall clock.
                 **(
                     {"counters": bench["extra_info"]}
                     if bench.get("extra_info")

@@ -87,6 +87,18 @@ from .errors import (
     StratificationError,
     UnsupportedClassError,
 )
+from .obs import (
+    JsonlSink,
+    MetricsRegistry,
+    RuleProfiler,
+    Tracer,
+    get_tracer,
+    global_registry,
+    json_snapshot,
+    prometheus_text,
+    set_tracer,
+    use_tracer,
+)
 from .query import QueryPlan, QuerySession, compile_query_plan, magic_rewrite, stratify
 from .service import DatalogService, ServiceStatistics
 from .stable import (
@@ -117,8 +129,10 @@ __all__ = [
     "GroundingError",
     "InconsistentProgramError",
     "Interpretation",
+    "JsonlSink",
     "Literal",
     "MemoryBackend",
+    "MetricsRegistry",
     "NDTGD",
     "NTGD",
     "Null",
@@ -129,6 +143,7 @@ __all__ = [
     "QuerySession",
     "RelationIndex",
     "ReproError",
+    "RuleProfiler",
     "RuleSet",
     "SQLiteBackend",
     "SafetyError",
@@ -138,6 +153,7 @@ __all__ = [
     "SolverLimitError",
     "StableModelEngine",
     "StratificationError",
+    "Tracer",
     "Universe",
     "UnsupportedClassError",
     "Variable",
@@ -149,9 +165,15 @@ __all__ = [
     "compile_query_plan",
     "enumerate_stable_models",
     "fixpoint",
+    "get_tracer",
+    "global_registry",
+    "json_snapshot",
     "magic_rewrite",
+    "prometheus_text",
+    "set_tracer",
     "stratify",
     "is_stable_model",
+    "use_tracer",
     "parse_atom",
     "parse_database",
     "parse_disjunctive_program",

@@ -45,6 +45,7 @@ from ..engine import (
     enumerate_matches,
 )
 from ..errors import UnsupportedClassError
+from ..obs.metrics import global_registry
 
 __all__ = [
     "ChaseResult",
@@ -235,6 +236,9 @@ def restricted_chase(
     rule_set = _prepare(rules)
     _check_guarantee(rule_set, require_termination_guarantee, max_steps)
     statistics = EngineStatistics()
+    # Chase counters surface in metrics snapshots as ``chase_*`` for as long
+    # as the caller keeps the ChaseResult (weakly referenced).
+    global_registry().register_stats(statistics, "chase")
     index = _chase_index(database, statistics)
     compiled = [compile_rule(rule, statistics=statistics) for rule in rule_set]
     prepared = {position: _PreparedRule.of(rule) for position, rule in enumerate(rule_set)}
@@ -338,6 +342,7 @@ def oblivious_chase(
     rule_set = _prepare(rules)
     _check_guarantee(rule_set, require_termination_guarantee, max_steps)
     statistics = EngineStatistics()
+    global_registry().register_stats(statistics, "chase")
     index = _chase_index(database, statistics)
     compiled = [compile_rule(rule, statistics=statistics) for rule in rule_set]
     prepared = {position: _PreparedRule.of(rule) for position, rule in enumerate(rule_set)}

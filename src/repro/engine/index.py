@@ -43,7 +43,17 @@ from __future__ import annotations
 
 import threading
 from itertools import count as _count
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.atoms import Atom, Predicate
 from ..core.terms import Constant, FunctionTerm, Null, Term, Variable
@@ -594,7 +604,15 @@ class RelationSnapshot:
     every head; only the snapshot itself is meant to be shared.
     """
 
-    __slots__ = ("_source", "_backend", "_patterns", "_version", "_stats", "_lock")
+    __slots__ = (
+        "_source",
+        "_backend",
+        "_patterns",
+        "_version",
+        "_stats",
+        "_lock",
+        "_obs_build_hook",
+    )
 
     def __init__(
         self,
@@ -611,6 +629,15 @@ class RelationSnapshot:
         #: serialises cold pattern-table builds; reads of built tables are
         #: lock-free (dict get, atomic under the GIL).
         self._lock = threading.Lock()
+        #: optional zero-arg callable invoked once per cold pattern-table
+        #: build on this snapshot.  Snapshots that outlive their head's
+        #: statistics object (detached snapshots published to reader threads,
+        #: whose ``_stats`` is cleared) would otherwise do index-build work
+        #: that no counter ever sees; the serving layer points this at a
+        #: thread-safe registry counter.  Must itself be thread-safe: it runs
+        #: under this snapshot's lock, but different snapshots' locks are
+        #: unrelated.
+        self._obs_build_hook: Optional[Callable[[], None]] = None
 
     @property
     def version(self) -> int:
@@ -704,6 +731,8 @@ class RelationSnapshot:
                 table = _build_table(self._backend, predicate, positions)
                 if self._stats is not None:
                     self._stats.index_builds += 1
+                if self._obs_build_hook is not None:
+                    self._obs_build_hook()
             self._patterns[(predicate, positions)] = table
         return table
 

@@ -58,6 +58,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom, Predicate, apply_substitution
 from ..errors import SolverLimitError
+from ..obs.trace import get_tracer
 from .index import RelationIndex
 from .planner import CompiledRule, compile_rule, enumerate_matches
 from .stats import EngineStatistics
@@ -397,30 +398,41 @@ class MaterializedView:
         """
         if self._stats is not None:
             self._stats.deltas_applied += 1
-        # Nothing consumes this index's delta log (the view repairs through
-        # the support table, not through added_since); keep it empty so the
-        # blank-on-remove upkeep of long-lived views stays O(1).
-        self._index.compact(self._index.tick())
-        self._call_added = set()
-        self._call_removed = set()
-        base_add: Dict[int, List[Atom]] = {}
-        base_del: Dict[int, List[Atom]] = {}
-        scheduled_deletions: Set[Atom] = set()
-        for atom in deletions:
-            if atom in self._support.protected:
-                continue
-            if atom in self._support.base:
-                base_del.setdefault(self._stratum_of(atom.predicate), []).append(atom)
-                scheduled_deletions.add(atom)
-        for atom in additions:
-            # Re-adding a scheduled deletion is meaningful (the per-stratum
-            # delete phase runs before the add phase, so the add wins).
-            if atom not in self._support.base or atom in scheduled_deletions:
-                base_add.setdefault(self._stratum_of(atom.predicate), []).append(atom)
-        for stratum in range(len(self._strat.strata) or 1):
-            self._delete_phase(stratum, base_del.get(stratum, ()))
-            self._add_phase(stratum, base_add.get(stratum, ()))
-        return ViewDelta(frozenset(self._call_added), frozenset(self._call_removed))
+        tracer = get_tracer()
+        span = tracer.start("engine.view_repair") if tracer.enabled else None
+        try:
+            # Nothing consumes this index's delta log (the view repairs through
+            # the support table, not through added_since); keep it empty so the
+            # blank-on-remove upkeep of long-lived views stays O(1).
+            self._index.compact(self._index.tick())
+            self._call_added = set()
+            self._call_removed = set()
+            base_add: Dict[int, List[Atom]] = {}
+            base_del: Dict[int, List[Atom]] = {}
+            scheduled_deletions: Set[Atom] = set()
+            for atom in deletions:
+                if atom in self._support.protected:
+                    continue
+                if atom in self._support.base:
+                    base_del.setdefault(self._stratum_of(atom.predicate), []).append(atom)
+                    scheduled_deletions.add(atom)
+            for atom in additions:
+                # Re-adding a scheduled deletion is meaningful (the per-stratum
+                # delete phase runs before the add phase, so the add wins).
+                if atom not in self._support.base or atom in scheduled_deletions:
+                    base_add.setdefault(self._stratum_of(atom.predicate), []).append(atom)
+            for stratum in range(len(self._strat.strata) or 1):
+                self._delete_phase(stratum, base_del.get(stratum, ()))
+                self._add_phase(stratum, base_add.get(stratum, ()))
+            delta = ViewDelta(
+                frozenset(self._call_added), frozenset(self._call_removed)
+            )
+            if span is not None:
+                span.set(added=len(delta.added), removed=len(delta.removed))
+            return delta
+        finally:
+            if span is not None:
+                span.finish()
 
     # ------------------------------------------------------- index plumbing
     def _add_atom(self, atom: Atom) -> bool:

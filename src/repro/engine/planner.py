@@ -45,6 +45,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom, Literal, apply_substitution
 from ..core.terms import Term
+from ..obs.trace import get_tracer
 from .index import Assignment, RelationIndex, is_flexible, match_atom, resolve_term
 from .stats import EngineStatistics
 
@@ -134,6 +135,15 @@ def compile_rule(
     cached = _COMPILE_CACHE.get(key)
     if cached is not None and cached.source is rule:
         return cached
+    # Cache misses only: when the global tracer is on, rule compilation is
+    # visible as an ``engine.compile_rule`` span (hits stay span-free — the
+    # memoisation is the point, and the hot path must not allocate).
+    tracer = get_tracer()
+    span = (
+        tracer.start("engine.compile_rule", ignore_negation=ignore_negation)
+        if tracer.enabled
+        else None
+    )
     heads, positive, negative = _split_rule(rule)
     compiled = CompiledRule(
         heads, positive, () if ignore_negation else negative, source=rule
@@ -143,6 +153,10 @@ def compile_rule(
     _COMPILE_CACHE[key] = compiled
     if statistics is not None:
         statistics.rules_compiled += 1
+    if span is not None:
+        span.finish(
+            positive=len(compiled.positive), negative=len(compiled.negative)
+        )
     return compiled
 
 

@@ -32,6 +32,7 @@ for reduct and well-founded computations.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom, apply_substitution
@@ -66,6 +67,8 @@ def fixpoint(
     max_atoms: Optional[int] = None,
     limit_message: str = "fixpoint exceeded max_atoms",
     statistics: Optional[EngineStatistics] = None,
+    tracer=None,
+    profiler=None,
 ) -> RelationIndex:
     """Compute the least fixpoint of *rules* over *facts*, semi-naively.
 
@@ -101,12 +104,26 @@ def fixpoint(
     max_atoms:
         Budget on the total index size; exceeding it raises
         :class:`~repro.errors.SolverLimitError` with *limit_message*.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When enabled, one
+        ``engine.fixpoint`` span wraps the whole computation and one
+        ``engine.fixpoint.round`` span wraps each semi-naive round (delta
+        size, pending firings).  Disabled or absent: a single ``is not
+        None`` / ``.enabled`` check per fixpoint, nothing per round.
+    profiler:
+        Optional :class:`~repro.obs.profile.RuleProfiler`.  When given,
+        each rule's join-enumeration wall time, enumerated firings and
+        newly derived tuples are attributed to it per round.
     """
     target = index if index is not None else RelationIndex(statistics=statistics)
     compiled: List[CompiledRule] = [
         compile_rule(rule, ignore_negation=ignore_negation, statistics=statistics)
         for rule in rules
     ]
+    tracing = tracer is not None and tracer.enabled
+    fixpoint_span = (
+        tracer.start("engine.fixpoint", rules=len(compiled)) if tracing else None
+    )
 
     def derive(atom: Atom, rule: CompiledRule, assignment: dict) -> None:
         if not atom.is_ground:
@@ -114,74 +131,105 @@ def fixpoint(
         if target.add(atom):
             if statistics is not None:
                 statistics.triggers_fired += 1
+            if profiler is not None:
+                profiler.record(rule, tuples=1)
             if on_derive is not None:
                 on_derive(atom, rule.source if rule.source is not None else rule, assignment)
             if max_atoms is not None and len(target) > max_atoms:
                 raise SolverLimitError(limit_message)
 
-    target.update(facts)
-    if max_atoms is not None and len(target) > max_atoms:
-        raise SolverLimitError(limit_message)
-    # Rules without a positive body fire once, up front (their negative
-    # literals, if kept, are still verified by the matcher's empty join).
-    for rule in compiled:
-        if not rule.positive:
-            for assignment in enumerate_matches(
-                rule, target, negative_against=negative_against, statistics=statistics
-            ):
-                if on_fire is not None:
-                    on_fire(rule, assignment)
-                for head in rule.heads:
-                    derive(head, rule, assignment)
-
-    first_round = True
-    tick = target.tick()
-    while True:
-        delta = () if first_round else list(target.added_since(tick))
-        if not first_round and not delta:
-            break
-        tick = target.tick()
-        # The delta is materialised (and round 1 scans everything anyway);
-        # older log entries are dead weight — compacting them keeps the log
-        # to one round of atoms, which matters for out-of-core backends.
-        target.compact(tick)
-        if statistics is not None:
-            statistics.iterations += 1
-        # Materialise each round's matches before inserting, so the hash
-        # indexes are never mutated while the join iterates over them.
-        pending: List[Tuple[CompiledRule, dict]] = []
+    try:
+        target.update(facts)
+        if max_atoms is not None and len(target) > max_atoms:
+            raise SolverLimitError(limit_message)
+        # Rules without a positive body fire once, up front (their negative
+        # literals, if kept, are still verified by the matcher's empty join).
         for rule in compiled:
             if not rule.positive:
-                continue
-            if first_round:
-                pending.extend(
-                    (rule, assignment)
-                    for assignment in enumerate_matches(
-                        rule,
-                        target,
-                        negative_against=negative_against,
-                        statistics=statistics,
-                    )
+                for assignment in enumerate_matches(
+                    rule, target, negative_against=negative_against, statistics=statistics
+                ):
+                    if profiler is not None:
+                        profiler.record(rule, triggers=1)
+                    if on_fire is not None:
+                        on_fire(rule, assignment)
+                    for head in rule.heads:
+                        derive(head, rule, assignment)
+
+        first_round = True
+        rounds = 0
+        tick = target.tick()
+        while True:
+            delta = () if first_round else list(target.added_since(tick))
+            if not first_round and not delta:
+                break
+            tick = target.tick()
+            # The delta is materialised (and round 1 scans everything anyway);
+            # older log entries are dead weight — compacting them keeps the log
+            # to one round of atoms, which matters for out-of-core backends.
+            target.compact(tick)
+            rounds += 1
+            if statistics is not None:
+                statistics.iterations += 1
+            round_span = (
+                tracer.start(
+                    "engine.fixpoint.round", round=rounds, delta=len(delta)
                 )
-            else:
-                for position in range(len(rule.positive)):
+                if tracing
+                else None
+            )
+            # Materialise each round's matches before inserting, so the hash
+            # indexes are never mutated while the join iterates over them.
+            pending: List[Tuple[CompiledRule, dict]] = []
+            for rule in compiled:
+                if not rule.positive:
+                    continue
+                if profiler is not None:
+                    rule_t0 = perf_counter()
+                    rule_n0 = len(pending)
+                if first_round:
                     pending.extend(
                         (rule, assignment)
                         for assignment in enumerate_matches(
                             rule,
                             target,
-                            delta=delta,
-                            delta_position=position,
                             negative_against=negative_against,
                             statistics=statistics,
                         )
                     )
-        first_round = False
-        for rule, assignment in pending:
-            if on_fire is not None:
-                on_fire(rule, assignment)
-            for head in rule.heads:
-                derive(apply_substitution(head, assignment), rule, assignment)
+                else:
+                    for position in range(len(rule.positive)):
+                        pending.extend(
+                            (rule, assignment)
+                            for assignment in enumerate_matches(
+                                rule,
+                                target,
+                                delta=delta,
+                                delta_position=position,
+                                negative_against=negative_against,
+                                statistics=statistics,
+                            )
+                        )
+                if profiler is not None:
+                    profiler.record(
+                        rule,
+                        seconds=perf_counter() - rule_t0,
+                        triggers=len(pending) - rule_n0,
+                        rounds=1,
+                    )
+            first_round = False
+            try:
+                for rule, assignment in pending:
+                    if on_fire is not None:
+                        on_fire(rule, assignment)
+                    for head in rule.heads:
+                        derive(apply_substitution(head, assignment), rule, assignment)
+            finally:
+                if round_span is not None:
+                    round_span.finish(firings=len(pending))
+    finally:
+        if fixpoint_span is not None:
+            fixpoint_span.finish(atoms=len(target))
     return target
 
 

@@ -1,0 +1,140 @@
+"""The per-rule profiler: time, triggers and tuples per compiled rule.
+
+Counter bags answer "how much work happened"; spans answer "where in the
+pipeline".  Neither answers the question that actually decides how to fix
+a slow program: **which rule is hot**.  :class:`RuleProfiler` does — it is
+an opt-in accumulator handed to the engine's evaluation entry points
+(:func:`repro.engine.seminaive.fixpoint`,
+:func:`repro.query.stratify.evaluate_stratified`, the ``QueryPlan``
+execution methods), which then attribute to each
+:class:`~repro.engine.planner.CompiledRule`
+
+* ``seconds`` — wall time spent enumerating the rule's join matches,
+* ``triggers`` — enumerated rule firings (assignments, new or not),
+* ``tuples`` — atoms the rule actually added to the index,
+* ``rounds`` — semi-naive rounds in which the rule was attempted.
+
+Rules are keyed by their *source* rendering (the rule as the user wrote
+it), so all delta-rule evaluations and strata of one rule aggregate into
+one row.  When ``profiler`` is ``None`` (the default everywhere) the hot
+loops pay one ``is not None`` check per rule per round — the same contract
+as the ``statistics`` bags.
+
+The profiler is the substrate of :meth:`QuerySession.explain`, which runs
+a query with a private profiler + tracer and renders the per-stratum /
+per-rule report.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RuleProfile", "RuleProfiler"]
+
+
+@dataclass
+class RuleProfile:
+    """Accumulated cost of one rule across all its evaluations."""
+
+    rule: str
+    seconds: float = 0.0
+    triggers: int = 0
+    tuples: int = 0
+    rounds: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "seconds": self.seconds,
+            "triggers": self.triggers,
+            "tuples": self.tuples,
+            "rounds": self.rounds,
+        }
+
+
+class RuleProfiler:
+    """Accumulates per-rule cost; safe to share across evaluations.
+
+    The engine calls :meth:`record` with a
+    :class:`~repro.engine.planner.CompiledRule`; the profile row is keyed
+    by the rule's source rendering (falling back to the compiled shape for
+    synthetic rules).  A small identity memo avoids re-rendering the rule
+    on every round.  All methods take the profiler's lock, which is cheap
+    relative to the join work being measured and makes one profiler safe
+    to hand to concurrent evaluations (e.g. service readers).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._profiles: Dict[str, RuleProfile] = {}
+        #: id(CompiledRule) -> rendered key; compiled rules are memoised by
+        #: the planner, so identity is stable while the rule is alive.
+        self._names: Dict[int, str] = {}
+
+    def _key(self, rule) -> str:
+        name = self._names.get(id(rule))
+        if name is None:
+            source = getattr(rule, "source", None)
+            if source is not None:
+                name = str(source)
+            elif hasattr(rule, "heads"):
+                heads = ", ".join(str(head) for head in rule.heads)
+                body = ", ".join(
+                    [str(atom) for atom in rule.positive]
+                    + [f"not {atom}" for atom in rule.negative]
+                )
+                name = f"{body} -> {heads}" if body else heads
+            else:
+                name = str(rule)
+            self._names[id(rule)] = name
+        return name
+
+    def record(
+        self,
+        rule,
+        *,
+        seconds: float = 0.0,
+        triggers: int = 0,
+        tuples: int = 0,
+        rounds: int = 0,
+    ) -> None:
+        key = self._key(rule)
+        with self._lock:
+            profile = self._profiles.get(key)
+            if profile is None:
+                profile = RuleProfile(rule=key)
+                self._profiles[key] = profile
+            profile.seconds += seconds
+            profile.triggers += triggers
+            profile.tuples += tuples
+            profile.rounds += rounds
+
+    # ------------------------------------------------------------ inspection
+    def profiles(self) -> List[RuleProfile]:
+        """All rows, hottest (most seconds) first."""
+        with self._lock:
+            rows = [
+                RuleProfile(p.rule, p.seconds, p.triggers, p.tuples, p.rounds)
+                for p in self._profiles.values()
+            ]
+        rows.sort(key=lambda p: (-p.seconds, -p.triggers, p.rule))
+        return rows
+
+    def top(self, k: int = 10) -> List[RuleProfile]:
+        """The k hottest rules by accumulated seconds."""
+        return self.profiles()[: max(0, k)]
+
+    @property
+    def total_seconds(self) -> float:
+        with self._lock:
+            return sum(p.seconds for p in self._profiles.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._profiles.clear()
+            self._names.clear()
+
+    def __len__(self) -> int:
+        return len(self._profiles)

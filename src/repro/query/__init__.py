@@ -28,11 +28,13 @@ See ``docs/query-answering.md`` for a worked tutorial.
 from .adornment import AdornedPredicate, AdornedRule, adorn_atom, adorn_rule, sips_order
 from .magic import MagicProgram, canonicalize_query, magic_rewrite
 from .session import (
+    ExplainReport,
     QueryPlan,
     QuerySession,
     QueryStatistics,
     SessionEpoch,
     SessionStatistics,
+    StratumTiming,
     compile_query_plan,
     full_fixpoint_answers,
     program_digest,
@@ -53,6 +55,7 @@ __all__ = [
     "AdornedPredicate",
     "AdornedRule",
     "DependencyGraph",
+    "ExplainReport",
     "MagicProgram",
     "QueryPlan",
     "QuerySession",
@@ -60,6 +63,7 @@ __all__ = [
     "SessionEpoch",
     "SessionStatistics",
     "Stratification",
+    "StratumTiming",
     "adorn_atom",
     "adorn_rule",
     "canonicalize_query",

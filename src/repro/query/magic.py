@@ -148,10 +148,17 @@ class MagicProgram:
         *,
         max_atoms: Optional[int] = None,
         statistics: Optional[EngineStatistics] = None,
+        tracer=None,
+        profiler=None,
     ) -> frozenset[Tuple[Term, ...]]:
         """Run the plan over *facts* and return the answer tuples."""
         index = self.evaluate_index(
-            facts, constants, max_atoms=max_atoms, statistics=statistics
+            facts,
+            constants,
+            max_atoms=max_atoms,
+            statistics=statistics,
+            tracer=tracer,
+            profiler=profiler,
         )
         return self.collect_answers(index)
 
@@ -202,6 +209,8 @@ class MagicProgram:
         *,
         max_atoms: Optional[int] = None,
         statistics: Optional[EngineStatistics] = None,
+        tracer=None,
+        profiler=None,
     ) -> RelationIndex:
         """Run the plan and return the full relation index (for inspection)."""
         safe_facts = (
@@ -213,6 +222,8 @@ class MagicProgram:
             stratification=self.stratification,
             max_atoms=max_atoms,
             statistics=statistics,
+            tracer=tracer,
+            profiler=profiler,
         )
 
     def evaluate_on(
@@ -222,6 +233,8 @@ class MagicProgram:
         *,
         max_atoms: Optional[int] = None,
         statistics: Optional[EngineStatistics] = None,
+        tracer=None,
+        profiler=None,
     ) -> frozenset[Tuple[Term, ...]]:
         """Run the plan over a *base* snapshot without re-indexing it.
 
@@ -240,6 +253,8 @@ class MagicProgram:
             stratification=self.stratification,
             max_atoms=max_atoms,
             statistics=statistics,
+            tracer=tracer,
+            profiler=profiler,
         )
         return self.collect_answers(index)
 
@@ -250,6 +265,8 @@ class MagicProgram:
         *,
         max_atoms: Optional[int] = None,
         statistics: Optional[EngineStatistics] = None,
+        tracer=None,
+        profiler=None,
     ) -> frozenset[Tuple[Term, ...]]:
         """Run the plan inside an existing (typically overlay) index.
 
@@ -266,6 +283,8 @@ class MagicProgram:
             stratification=self.stratification,
             max_atoms=max_atoms,
             statistics=statistics,
+            tracer=tracer,
+            profiler=profiler,
         )
         return self.collect_answers(index)
 
@@ -297,7 +316,28 @@ def magic_rewrite(rules, query: ConjunctiveQuery) -> MagicProgram:
 
     Raises :class:`~repro.errors.UnsupportedClassError` on existential rules
     and :class:`~repro.errors.StratificationError` on unstratified programs.
+
+    When the process-global tracer (:func:`repro.obs.get_tracer`) is
+    enabled, the rewrite is wrapped in a ``query.magic_rewrite`` span —
+    plan *compilation* is the seam the plan caches amortise, so its cost
+    belongs in any trace of a cold query.
     """
+    from ..obs.trace import get_tracer
+
+    tracer = get_tracer()
+    span = (
+        tracer.start("query.magic_rewrite", query=str(query))
+        if tracer.enabled
+        else None
+    )
+    try:
+        return _magic_rewrite(rules, query)
+    finally:
+        if span is not None:
+            span.finish()
+
+
+def _magic_rewrite(rules, query: ConjunctiveQuery) -> MagicProgram:
     program = normalize_rules(rules)
     stratify(program)  # reject unstratified inputs up front
 

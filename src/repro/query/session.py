@@ -60,6 +60,9 @@ from ..core.terms import Constant, Term
 from ..engine import MaterializedView, RelationIndex, RelationSnapshot
 from ..engine.stats import EngineStatistics
 from ..errors import SolverLimitError, StratificationError, UnsupportedClassError
+from ..obs.metrics import global_registry
+from ..obs.profile import RuleProfile, RuleProfiler
+from ..obs.trace import Tracer, get_tracer
 from .magic import MagicProgram, canonicalize_query, magic_rewrite
 from .stratify import (
     evaluate_stratified,
@@ -69,11 +72,13 @@ from .stratify import (
 )
 
 __all__ = [
+    "ExplainReport",
     "QueryPlan",
     "QuerySession",
     "QueryStatistics",
     "SessionEpoch",
     "SessionStatistics",
+    "StratumTiming",
     "compile_query_plan",
     "full_fixpoint_answers",
     "try_goal_directed",
@@ -135,10 +140,17 @@ class QueryPlan:
         *,
         max_atoms: Optional[int] = None,
         statistics: Optional[EngineStatistics] = None,
+        tracer=None,
+        profiler=None,
     ) -> frozenset[Tuple[Term, ...]]:
         """Run the plan over *facts*, seeding the given constant values."""
         return self.program.evaluate(
-            facts, constants, max_atoms=max_atoms, statistics=statistics
+            facts,
+            constants,
+            max_atoms=max_atoms,
+            statistics=statistics,
+            tracer=tracer,
+            profiler=profiler,
         )
 
     def execute_for(
@@ -148,11 +160,18 @@ class QueryPlan:
         *,
         max_atoms: Optional[int] = None,
         statistics: Optional[EngineStatistics] = None,
+        tracer=None,
+        profiler=None,
     ) -> frozenset[Tuple[Term, ...]]:
         """Run the plan for a concrete *query* of this plan's shape."""
         _, _, constants = canonicalize_query(query)
         return self.execute(
-            facts, constants, max_atoms=max_atoms, statistics=statistics
+            facts,
+            constants,
+            max_atoms=max_atoms,
+            statistics=statistics,
+            tracer=tracer,
+            profiler=profiler,
         )
 
     def execute_on(
@@ -162,6 +181,8 @@ class QueryPlan:
         *,
         max_atoms: Optional[int] = None,
         statistics: Optional[EngineStatistics] = None,
+        tracer=None,
+        profiler=None,
     ) -> frozenset[Tuple[Term, ...]]:
         """Run the plan over a *base* snapshot without re-indexing it.
 
@@ -171,7 +192,12 @@ class QueryPlan:
         """
         _, _, constants = canonicalize_query(query)
         return self.program.evaluate_on(
-            base, constants, max_atoms=max_atoms, statistics=statistics
+            base,
+            constants,
+            max_atoms=max_atoms,
+            statistics=statistics,
+            tracer=tracer,
+            profiler=profiler,
         )
 
     def execute_into(
@@ -181,11 +207,18 @@ class QueryPlan:
         *,
         max_atoms: Optional[int] = None,
         statistics: Optional[EngineStatistics] = None,
+        tracer=None,
+        profiler=None,
     ) -> frozenset[Tuple[Term, ...]]:
         """Run the plan inside a caller-prepared (typically overlay) index."""
         _, _, constants = canonicalize_query(query)
         return self.program.evaluate_into(
-            index, constants, max_atoms=max_atoms, statistics=statistics
+            index,
+            constants,
+            max_atoms=max_atoms,
+            statistics=statistics,
+            tracer=tracer,
+            profiler=profiler,
         )
 
 
@@ -289,6 +322,89 @@ class SessionEpoch:
         return self.snapshot.atoms()
 
 
+@dataclass(frozen=True)
+class StratumTiming:
+    """Wall/CPU time and output size of one stratum of one evaluation."""
+
+    stratum: int
+    rules: int
+    atoms: int
+    wall_s: float
+    cpu_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "stratum": self.stratum,
+            "rules": self.rules,
+            "atoms": self.atoms,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+        }
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """What :meth:`QuerySession.explain` returns: a profiled evaluation.
+
+    The report attributes one fresh, fully traced evaluation of the query —
+    per-stratum wall/CPU timings (``strata``) and the hottest rules by join
+    time with their trigger and tuple counts (``hot_rules``) — alongside the
+    compiled plan it ran (``plan_rules``, magic-rewritten, in stratum
+    order).  ``answers`` are the evaluation's answer tuples, identical to
+    what :meth:`~QuerySession.answers` returns at the same revision.
+    """
+
+    query: str
+    shape: str
+    digest: str
+    plan_rules: Tuple[str, ...]
+    strata: Tuple[StratumTiming, ...]
+    hot_rules: Tuple[RuleProfile, ...]
+    answers: frozenset
+    wall_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "shape": self.shape,
+            "digest": self.digest,
+            "plan_rules": list(self.plan_rules),
+            "strata": [timing.as_dict() for timing in self.strata],
+            "hot_rules": [profile.as_dict() for profile in self.hot_rules],
+            "answers": sorted(str(row) for row in self.answers),
+            "wall_s": self.wall_s,
+        }
+
+    def render(self) -> str:
+        """A human-readable multi-line account of the evaluation."""
+        lines = [
+            f"query   {self.query}",
+            f"shape   {self.shape}",
+            f"plan    {len(self.plan_rules)} rules, digest {self.digest}",
+            f"answers {len(self.answers)} tuples in {self.wall_s * 1e3:.3f} ms",
+        ]
+        if self.strata:
+            lines.append("strata:")
+            for timing in self.strata:
+                lines.append(
+                    f"  [{timing.stratum}] {timing.rules} rules -> "
+                    f"{timing.atoms} atoms  "
+                    f"wall {timing.wall_s * 1e3:.3f} ms  "
+                    f"cpu {timing.cpu_s * 1e3:.3f} ms"
+                )
+        if self.hot_rules:
+            lines.append("hot rules:")
+            for profile in self.hot_rules:
+                lines.append(
+                    f"  {profile.seconds * 1e3:.3f} ms  "
+                    f"triggers={profile.triggers} tuples={profile.tuples} "
+                    f"rounds={profile.rounds}  {profile.rule}"
+                )
+        return "\n".join(lines)
+
+    __str__ = render
+
+
 @dataclass
 class _PlanView:
     """One plan's maintained materialisation plus the seeds injected so far.
@@ -346,6 +462,14 @@ class QuerySession:
         view and re-answers the query on a throwaway fork, so only a query
         that exceeds the budget *on its own* raises
         :class:`~repro.errors.SolverLimitError`.
+    tracer:
+        Optional explicit :class:`~repro.obs.trace.Tracer`; ``None``
+        (default) consults the process-global tracer per call, so
+        ``repro.obs.set_tracer`` turns tracing on for existing sessions.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the session's
+        counters register into (as ``session_*``); defaults to
+        :func:`repro.obs.global_registry`.
 
     The facts live in one persistent :class:`~repro.engine.index.RelationIndex`
     head.  Steady-state selective queries do no per-query O(|DB|) work on
@@ -379,9 +503,20 @@ class QuerySession:
         stable_options: Optional[dict] = None,
         maintenance: bool = True,
         max_atoms: Optional[int] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         facts = database.atoms if isinstance(database, Database) else database
         self.statistics = SessionStatistics()
+        #: explicit per-session tracer; ``None`` defers to the process-global
+        #: one (:func:`repro.obs.get_tracer`) at each call, so flipping
+        #: tracing on mid-session works without rebuilding sessions.
+        self._tracer = tracer
+        # The counters become visible to metrics snapshots/exporters as
+        # ``session_*``; the registry holds only a weak reference, so a
+        # session's lifetime is unchanged.
+        registry = metrics if metrics is not None else global_registry()
+        registry.register_stats(self.statistics, "session")
         self._index = RelationIndex(facts, statistics=self.statistics.engine)
         # The base never replays deltas; keep removals O(1) in the log.
         self._index.compact(self._index.tick())
@@ -562,6 +697,32 @@ class QuerySession:
         removed: Sequence[Atom] = (),
     ) -> None:
         """Advance the revision and repair (or invalidate) derived state."""
+        tracer = self._active_tracer()
+        span = (
+            tracer.start(
+                "session.mutate", added=len(added), removed=len(removed)
+            )
+            if tracer.enabled
+            else None
+        )
+        try:
+            self._mutate_inner(added, removed)
+        finally:
+            if span is not None:
+                span.finish(
+                    repaired=self.statistics.answers_repaired,
+                    retained=self.statistics.answers_retained,
+                )
+
+    def _active_tracer(self):
+        """The session's explicit tracer, else the process-global one."""
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def _mutate_inner(
+        self,
+        added: Sequence[Atom] = (),
+        removed: Sequence[Atom] = (),
+    ) -> None:
         touched = {atom.predicate for atom in added}
         touched.update(atom.predicate for atom in removed)
         self._revision += 1
@@ -691,13 +852,33 @@ class QuerySession:
         # The query itself (frozen, structurally hashed) is the cache key;
         # str(query) would conflate constants and variables sharing a name.
         cache_key = query
+        tracer = self._active_tracer()
+        tracing = tracer.enabled
         cached = self._answers.get(cache_key)
         if cached is not None:
             self._answers.move_to_end(cache_key)
             self.statistics.answer_hits += 1
+            if tracing:
+                tracer.start(
+                    "session.answers", cache="hit", revision=self._revision
+                ).finish(answers=len(cached[0]))
             return cached[0]
         self.statistics.answer_misses += 1
-        result, depends, plan_key = self._compute(query)
+        span = (
+            tracer.start(
+                "session.answers", cache="miss", revision=self._revision
+            )
+            if tracing
+            else None
+        )
+        try:
+            result, depends, plan_key = self._compute(query)
+        except BaseException as error:
+            if span is not None:
+                span.finish(error=type(error).__name__)
+            raise
+        if span is not None:
+            span.finish(answers=len(result))
         self._answers[cache_key] = (result, depends, plan_key)
         while len(self._answers) > self._answer_cache_size:
             self._answers.popitem(last=False)
@@ -711,9 +892,78 @@ class QuerySession:
         """Boolean entailment: does the query have an answer?"""
         return bool(self.answers(query))
 
+    def explain(self, query: ConjunctiveQuery, *, top: int = 10) -> ExplainReport:
+        """Profile one evaluation of *query* and attribute where time went.
+
+        The query is re-evaluated from scratch — caches bypassed, answer
+        cache untouched — under a private tracer and per-rule profiler, on
+        the same overlay-fork path a cache miss would take.  The returned
+        :class:`ExplainReport` carries the compiled plan (magic-rewritten
+        rules in stratum order), one :class:`StratumTiming` per stratum,
+        and the ``top`` hottest rules by join time with their trigger and
+        tuple counts.  ``str(report)`` renders the human-readable account.
+
+        Cost is one uncached evaluation plus tracing overhead; sessions
+        outside the rewritable fragment (fallback mode) have no plan to
+        attribute and raise their scope error instead.
+        """
+        if not self._rewritable:
+            assert self._scope_error is not None
+            raise self._scope_error
+        plan_key, plan = self._plan_entry(query)
+        tracer = Tracer(capacity=4096)
+        profiler = RuleProfiler()
+        from time import perf_counter as _now
+
+        t0 = _now()
+        if self._overlay_safe(plan):
+            answers = plan.execute_on(
+                self._ensure_snapshot(),
+                query,
+                max_atoms=self._max_atoms,
+                statistics=self.statistics.engine,
+                tracer=tracer,
+                profiler=profiler,
+            )
+        else:
+            answers = plan.execute_for(
+                self._index,
+                query,
+                max_atoms=self._max_atoms,
+                statistics=self.statistics.engine,
+                tracer=tracer,
+                profiler=profiler,
+            )
+        wall_s = _now() - t0
+        strata = tuple(
+            StratumTiming(
+                stratum=int(span.attributes.get("stratum", position)),
+                rules=int(span.attributes.get("rules", 0)),
+                atoms=int(span.attributes.get("atoms", 0)),
+                wall_s=span.wall_s or 0.0,
+                cpu_s=span.cpu_s or 0.0,
+            )
+            for position, span in enumerate(tracer.spans("engine.stratum"))
+        )
+        return ExplainReport(
+            query=str(query),
+            shape=plan.shape,
+            digest=plan.digest,
+            plan_rules=tuple(str(rule) for rule in plan.program.rules),
+            strata=strata,
+            hot_rules=tuple(profiler.top(top)),
+            answers=answers,
+            wall_s=wall_s,
+        )
+
     def _compute(
         self, query: ConjunctiveQuery
     ) -> Tuple[frozenset, Optional[frozenset[Predicate]], Optional[tuple]]:
+        active = self._active_tracer()
+        # Passed straight down to the engine so fixpoint/stratum spans nest
+        # under the session.answers span; ``None`` when disabled keeps the
+        # engine's per-call guard to one identity check.
+        tracer = active if active.enabled else None
         if self._rewritable:
             try:
                 plan_key, plan = self._plan_entry(query)
@@ -754,6 +1004,7 @@ class QuerySession:
                             query,
                             max_atoms=self._max_atoms,
                             statistics=self.statistics.engine,
+                            tracer=tracer,
                         )
                         return result, plan.depends, None
                     # Recorded only after the cascade succeeded.
@@ -780,6 +1031,7 @@ class QuerySession:
                     query,
                     max_atoms=self._max_atoms,
                     statistics=self.statistics.engine,
+                    tracer=tracer,
                 )
             else:
                 # A base predicate name embeds the plan's namespace infix
@@ -792,6 +1044,7 @@ class QuerySession:
                     query,
                     max_atoms=self._max_atoms,
                     statistics=self.statistics.engine,
+                    tracer=tracer,
                 )
             return result, plan.depends, None
         if not self._fallback:

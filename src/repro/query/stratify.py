@@ -272,6 +272,8 @@ def evaluate_stratified(
     max_atoms: Optional[int] = None,
     stratification: Optional[Stratification] = None,
     on_fire=None,
+    tracer=None,
+    profiler=None,
 ) -> RelationIndex:
     """Evaluate a stratified program bottom-up on the shared engine.
 
@@ -296,6 +298,12 @@ def evaluate_stratified(
         Forwarded to every stratum's :func:`~repro.engine.seminaive.fixpoint`
         call — the opt-in per-firing hook
         :class:`repro.engine.maintenance.SupportTable` records through.
+    tracer / profiler:
+        Optional :class:`~repro.obs.trace.Tracer` /
+        :class:`~repro.obs.profile.RuleProfiler`, forwarded to every
+        stratum's fixpoint.  With tracing enabled, each stratum is wrapped
+        in an ``engine.stratum`` span (stratum index, rule count, atoms
+        derived) — the per-stratum timings ``QuerySession.explain`` reads.
     """
     layered = stratification if stratification is not None else stratify(rules)
     if base is not None:
@@ -306,7 +314,8 @@ def evaluate_stratified(
     else:
         target = index if index is not None else RelationIndex(statistics=statistics)
     target.update(facts)
-    for stratum_rules in layered.strata:
+    tracing = tracer is not None and tracer.enabled
+    for position, stratum_rules in enumerate(layered.strata):
         seeds: List[Atom] = []
         rule_list: List[NormalRule] = []
         for rule in stratum_rules:
@@ -314,15 +323,31 @@ def evaluate_stratified(
                 seeds.append(rule.head)
             else:
                 rule_list.append(rule)
-        fixpoint(
-            rule_list,
-            seeds,
-            index=target,
-            max_atoms=max_atoms,
-            statistics=statistics,
-            on_fire=on_fire,
-            limit_message="stratified evaluation exceeded max_atoms",
+        span = (
+            tracer.start(
+                "engine.stratum",
+                stratum=position,
+                rules=len(stratum_rules),
+                before=len(target),
+            )
+            if tracing
+            else None
         )
+        try:
+            fixpoint(
+                rule_list,
+                seeds,
+                index=target,
+                max_atoms=max_atoms,
+                statistics=statistics,
+                on_fire=on_fire,
+                tracer=tracer,
+                profiler=profiler,
+                limit_message="stratified evaluation exceeded max_atoms",
+            )
+        finally:
+            if span is not None:
+                span.finish(atoms=len(target))
     return target
 
 

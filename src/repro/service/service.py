@@ -61,6 +61,8 @@ from ..core.database import Database
 from ..core.queries import ConjunctiveQuery
 from ..core.terms import Term
 from ..engine.stats import EngineStatistics
+from ..obs.metrics import MetricsRegistry, MetricsSnapshot, global_registry
+from ..obs.trace import get_tracer
 from ..errors import (
     ServiceClosedError,
     ServiceOverloadedError,
@@ -101,8 +103,11 @@ class ServiceStatistics:
     ``engine`` accumulates the per-evaluation engine counters of reader-side
     misses (merged under the statistics lock); writer-side work lands on the
     session's own statistics.  Cold pattern-table builds on a published
-    snapshot are deliberately unrecorded — no counter object can be updated
-    race-free from both reader and writer threads.
+    snapshot do **not** land here — a plain dataclass field cannot be
+    updated race-free from both reader and writer threads — but they are no
+    longer lost: each published snapshot's build hook feeds the service's
+    thread-safe ``service_snapshot_index_builds`` registry counter (see
+    :meth:`DatalogService.stats`).
     """
 
     epochs_published: int = 0
@@ -146,9 +151,13 @@ class Epoch:
         # reader threads under the snapshot's own lock; recording them on
         # the writer session's counters (racy) or the service's engine
         # counters (guarded by a *different* lock — lost updates) would
-        # both be wrong, so they go unrecorded.  Per-evaluation reader
-        # counters are merged under the service's statistics lock instead.
+        # both be wrong.  They are routed to the service's thread-safe
+        # registry counter instead: the hook runs under this snapshot's
+        # build lock, but two epochs' locks are unrelated, and Counter.inc
+        # locks internally.  Per-evaluation reader counters are still
+        # merged under the service's statistics lock.
         self.snapshot._stats = None
+        self.snapshot._obs_build_hook = service._record_cold_build
         self._published = exported.answers
         self._memo: Dict[ConjunctiveQuery, frozenset] = {}
         self._infix_safety: Dict[str, bool] = {}
@@ -216,6 +225,13 @@ class DatalogService:
         session's views and arrive pre-computed in every later epoch.
     fallback / maintenance / max_atoms / session options:
         Forwarded to the session (see :class:`QuerySession`).
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the service (and
+        its inner session) reports into: flattened ``service_*`` counters,
+        the read-latency histogram, the snapshot cold-build counter, and
+        the queue-depth / epoch-lag / pending-futures gauges.  Defaults to
+        :func:`repro.obs.global_registry`; pass a private registry for
+        isolation.  :meth:`stats` snapshots it.
 
     The service starts its writer thread on construction and must be closed
     (``close()`` or ``with DatalogService(...) as service:``) to release it.
@@ -238,6 +254,7 @@ class DatalogService:
         maintenance: bool = True,
         max_atoms: Optional[int] = None,
         stable_options: Optional[dict] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if backpressure not in ("block", "reject"):
             raise ValueError(
@@ -251,6 +268,7 @@ class DatalogService:
             max_atoms=max_atoms,
             stable_options=stable_options,
             plan_cache_size=plan_cache_size,
+            metrics=metrics,
         )
         self._fallback = fallback
         self._stable_options = dict(stable_options or {})
@@ -261,6 +279,49 @@ class DatalogService:
         self._coalesce_window = coalesce_window
         self._warm_cache = warm_cache
         self.statistics = ServiceStatistics()
+
+        # ---- observability plumbing (see repro.obs and docs/observability.md)
+        self._metrics = metrics if metrics is not None else global_registry()
+        # Flattened ``service_*`` counters; weakly referenced, so the
+        # registry never extends the service's lifetime.
+        self._metrics.register_stats(self.statistics, "service")
+        self._read_latency = self._metrics.histogram(
+            "service_read_latency_seconds",
+            help="End-to-end DatalogService read latency (hits and misses).",
+        )
+        # Cold pattern-table builds performed by reader threads on published
+        # snapshots; thread-safe, unlike the dataclass counters above.
+        self._snapshot_builds = self._metrics.counter(
+            "service_snapshot_index_builds",
+            help="Cold pattern-table builds on published (detached) snapshots.",
+        )
+        self._published_at = time.time()
+        self._inflight = 0
+        self._queue_depth_gauge = self._metrics.gauge(
+            "service_queue_depth",
+            help="Enqueued, not-yet-draining write ops.",
+        )
+        self._epoch_lag_gauge = self._metrics.gauge(
+            "service_epoch_lag_seconds",
+            help="Wall seconds since the last epoch publish.",
+        )
+        self._pending_futures_gauge = self._metrics.gauge(
+            "service_pending_futures",
+            help="Unacknowledged write futures (queued + in-flight batch).",
+        )
+        self._gauge_callbacks = [
+            (self._queue_depth_gauge, lambda: len(self._pending)),
+            (
+                self._epoch_lag_gauge,
+                lambda: time.time() - self._published_at,
+            ),
+            (
+                self._pending_futures_gauge,
+                lambda: len(self._pending) + self._inflight,
+            ),
+        ]
+        for gauge, callback in self._gauge_callbacks:
+            gauge.add_callback(callback)
 
         # Reader-side compiled-plan cache: query shape -> plan (or the scope
         # error that made compilation impossible).  Plans are immutable, the
@@ -322,19 +383,44 @@ class DatalogService:
         """The revision of the last published epoch."""
         return self._epoch.revision
 
+    def _record_cold_build(self) -> None:
+        """Build hook of published snapshots (thread-safe by Counter.inc)."""
+        self._snapshot_builds.inc()
+
     def _read(
         self, epoch: Epoch, query: ConjunctiveQuery
     ) -> frozenset[Tuple[Term, ...]]:
         # No lock is ever held around evaluation; counters are batched into
         # exactly one brief statistics-lock acquisition per read.
+        t0 = time.perf_counter()
+        tracer = get_tracer()
+        tracing = tracer.enabled
         cached = epoch.cached(query)
         if cached is not None:
             with self._stats_lock:
                 self.statistics.reads_served += 1
                 self.statistics.read_cache_hits += 1
+            self._read_latency.observe(time.perf_counter() - t0)
+            if tracing:
+                tracer.start(
+                    "service.read", cache="hit", revision=epoch.revision
+                ).finish(answers=len(cached))
             return cached
+        span = (
+            tracer.start(
+                "service.read", cache="miss", revision=epoch.revision
+            )
+            if tracing
+            else None
+        )
         local = EngineStatistics()
-        result, fell_back = self._evaluate(epoch, query, local)
+        try:
+            result, fell_back = self._evaluate(epoch, query, local)
+        except BaseException as error:
+            self._read_latency.observe(time.perf_counter() - t0)
+            if span is not None:
+                span.finish(error=type(error).__name__)
+            raise
         if len(epoch._memo) < _EPOCH_MEMO_CAP:
             epoch._memo[query] = result
         with self._stats_lock:
@@ -352,6 +438,9 @@ class DatalogService:
                 and len(self._hot) < self._hot_cap
             ):
                 self._hot[query] = None
+        self._read_latency.observe(time.perf_counter() - t0)
+        if span is not None:
+            span.finish(answers=len(result), fallback=fell_back)
         return result
 
     def _evaluate(
@@ -546,6 +635,21 @@ class DatalogService:
         ]
         if not batch:
             return
+        self._inflight = len(batch)
+        tracer = get_tracer()
+        span = (
+            tracer.start("service.drain", ops=len(batch))
+            if tracer.enabled
+            else None
+        )
+        try:
+            self._apply_inner(batch)
+        finally:
+            self._inflight = 0
+            if span is not None:
+                span.finish(revision=self._session.revision)
+
+    def _apply_inner(self, batch: List[_PendingOp]) -> None:
         revision_before = self._session.revision
         counts: Optional[List[int]] = None
         error: Optional[BaseException] = None
@@ -600,9 +704,31 @@ class DatalogService:
         return warmed
 
     def _publish(self) -> None:
+        tracer = get_tracer()
+        span = tracer.start("service.publish") if tracer.enabled else None
         self._epoch = Epoch(self, self._session.epoch())
+        self._published_at = time.time()
         with self._stats_lock:
             self.statistics.epochs_published += 1
+        if span is not None:
+            span.finish(
+                revision=self._epoch.revision, facts=len(self._epoch.snapshot)
+            )
+
+    # ---------------------------------------------------------- observability
+    def stats(self) -> MetricsSnapshot:
+        """A point-in-time :class:`~repro.obs.metrics.MetricsSnapshot`.
+
+        The snapshot carries everything the service's registry knows: the
+        flattened ``service_*`` (and, same registry, ``session_*``) counters,
+        the ``service_read_latency_seconds`` histogram, the thread-safe
+        ``service_snapshot_index_builds`` counter, and the live gauges —
+        ``service_queue_depth``, ``service_epoch_lag_seconds``,
+        ``service_pending_futures``.  Feed it to
+        :func:`repro.obs.prometheus_text` / :func:`repro.obs.json_snapshot`
+        to export, or ``.diff(earlier)`` two of them for interval rates.
+        """
+        return self._metrics.snapshot()
 
     # ------------------------------------------------------------- lifecycle
     def close(self, timeout: Optional[float] = None) -> None:
@@ -617,6 +743,12 @@ class DatalogService:
             self._not_empty.notify_all()
             self._not_full.notify_all()
         self._writer.join(timeout)
+        # Unhook the gauge callbacks: they close over ``self``, and a shared
+        # (global) registry would otherwise keep every closed service alive
+        # and keep summing its queue depth into the gauges.
+        for gauge, callback in self._gauge_callbacks:
+            gauge.remove_callback(callback)
+        self._gauge_callbacks = []
 
     @property
     def closed(self) -> bool:
