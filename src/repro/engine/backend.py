@@ -471,6 +471,17 @@ class SQLiteBackend:
             path, isolation_level=None, check_same_thread=False
         )
         self._lock = threading.Lock()
+        # Explicit crash semantics instead of SQLite's build-dependent
+        # defaults: WAL journaling appends committed statements to a
+        # sidecar log, so a process killed mid-write leaves a database that
+        # opens clean (the torn tail is rolled back / checkpointed on the
+        # next open) and readers never see a half-applied statement.
+        # synchronous=NORMAL syncs the WAL at checkpoint boundaries —
+        # process-crash safe always, power-loss safe up to the last
+        # checkpoint — the documented pairing for WAL mode.  :memory:
+        # databases ignore the journal pragma (reported as "memory").
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS facts ("
             " predicate TEXT NOT NULL,"

@@ -89,6 +89,18 @@ class ServiceOverloadedError(ReproError):
     """
 
 
+class DurabilityError(ReproError):
+    """Raised by the durability layer on misuse or damaged store files.
+
+    Torn log tails and invalid newest checkpoints are *not* errors — they
+    are expected crash artefacts, silently recovered to the longest valid
+    prefix.  This error covers the genuinely unrecoverable or ambiguous
+    cases: a log file that is not a repro WAL at all, a store already
+    locked by another live process, or opening an existing store with a
+    conflicting initial database.
+    """
+
+
 class StratificationError(ReproError):
     """Raised when a program is not stratified w.r.t. default negation.
 

@@ -53,7 +53,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.atoms import Atom, Predicate
+from ..core.atoms import Atom, Literal, Predicate, apply_substitution
 from ..core.database import Database
 from ..core.queries import ConjunctiveQuery
 from ..core.terms import Constant, Term
@@ -72,6 +72,7 @@ from .stratify import (
 )
 
 __all__ = [
+    "AnswerExport",
     "ExplainReport",
     "QueryPlan",
     "QuerySession",
@@ -79,6 +80,8 @@ __all__ = [
     "SessionEpoch",
     "SessionStatistics",
     "StratumTiming",
+    "ViewExport",
+    "WarmState",
     "compile_query_plan",
     "full_fixpoint_answers",
     "try_goal_directed",
@@ -427,6 +430,54 @@ class _PlanView:
     seeds: "OrderedDict[Atom, None]" = field(default_factory=OrderedDict)
 
 
+@dataclass(frozen=True)
+class ViewExport:
+    """Serialisable warm state of one plan's maintained materialised view.
+
+    ``query`` is a *representative* concrete query of the plan's shape — the
+    restoring session recompiles the identical plan from it (magic rewriting
+    is deterministic), which is what makes the rule ``records`` positions
+    meaningful across processes.  ``base``/``atoms``/``records`` come from
+    :meth:`~repro.engine.maintenance.MaterializedView.export_state`, and
+    ``seeds`` are the magic seed atoms injected so far, LRU order preserved.
+    """
+
+    query: ConjunctiveQuery
+    base: Tuple[Atom, ...]
+    atoms: Tuple[Atom, ...]
+    records: Tuple[Tuple[int, Atom, Tuple[Atom, ...], Tuple[Atom, ...]], ...]
+    seeds: Tuple[Atom, ...]
+
+
+@dataclass(frozen=True)
+class AnswerExport:
+    """One answer-cache entry: the concrete query and its answer tuples.
+
+    ``repairable`` records whether the entry was tagged with a plan key (it
+    came from a maintained view); on restore the tag is re-established only
+    when the matching view was also restored.
+    """
+
+    query: ConjunctiveQuery
+    answers: frozenset
+    repairable: bool
+
+
+@dataclass(frozen=True)
+class WarmState:
+    """Everything a session can hand a future process to skip cold starts.
+
+    Produced by :meth:`QuerySession.export_warm_state`; consumed by
+    :meth:`QuerySession.restore_warm_state` on a fresh session built over
+    the *same* facts and rules.  Purely an optimisation payload: a session
+    that discards it (or restores only part of it) answers identically,
+    just colder.
+    """
+
+    views: Tuple[ViewExport, ...]
+    answers: Tuple[AnswerExport, ...]
+
+
 class QuerySession:
     """A mutable fact base + fixed rules, answering queries goal-directedly.
 
@@ -619,6 +670,143 @@ class QuerySession:
             snapshot=self._export_snapshot,
             answers=answers,
         )
+
+    # ------------------------------------------------------------- warm state
+    @property
+    def digest(self) -> Optional[str]:
+        """The session's program digest (``None`` only for odd rule reprs).
+
+        Stable across processes for a fixed rule set; the durability layer
+        stores it in checkpoints so warm state is never restored onto a
+        session compiled from different rules.
+        """
+        return self._digest
+
+    def export_warm_state(self) -> WarmState:
+        """Export the maintained views and cached answers as a
+        :class:`WarmState`.
+
+        The export is *best effort*: views whose support tables cannot be
+        serialised (or whose representative query cannot be reconstructed)
+        are skipped, never half-exported.  Restoring the result on a fresh
+        session over the same facts and rules
+        (:meth:`restore_warm_state`) makes previously served queries warm
+        again — cache hits instead of re-derivation — without affecting
+        correctness in any way.
+        """
+        views: List[ViewExport] = []
+        for key, entry in self._views.items():
+            plan = self._plans.get(key)
+            if plan is None or plan.depends is None:
+                continue
+            state = entry.view.export_state()
+            if state is None:
+                continue
+            query = self._representative_query(key, plan)
+            if query is None:
+                continue
+            base, atoms, records = state
+            views.append(
+                ViewExport(
+                    query=query,
+                    base=base,
+                    atoms=atoms,
+                    records=records,
+                    seeds=tuple(entry.seeds),
+                )
+            )
+        answers = tuple(
+            AnswerExport(
+                query=query, answers=entry[0], repairable=entry[2] is not None
+            )
+            for query, entry in self._answers.items()
+        )
+        return WarmState(views=tuple(views), answers=answers)
+
+    def restore_warm_state(self, state: WarmState) -> int:
+        """Rebuild maintained views and the answer cache from *state*.
+
+        **Contract:** call on a freshly constructed session whose fact base
+        equals the one the state was exported from, *before* any mutation —
+        the restored answers are taken at face value, exactly like the
+        cached answers they were exported as.  The durability layer
+        guarantees this by pairing each warm state with the checkpoint's
+        fact snapshot and rules digest, and restoring before log replay.
+
+        Restoration is best effort and per entry: anything that fails to
+        restore is skipped (the session stays correct, just colder).
+        Returns the number of views restored.
+        """
+        if not self._rewritable:
+            return 0
+        restored = 0
+        for export in state.views:
+            key = None
+            try:
+                key, plan = self._plan_entry(export.query)
+                view = MaterializedView.restore(
+                    plan.program.rules,
+                    base=export.base,
+                    atoms=export.atoms,
+                    records=export.records,
+                    stratification=plan.program.stratification,
+                    statistics=self.statistics.engine,
+                    max_atoms=self._max_atoms,
+                )
+                entry = _PlanView(view=view)
+                for seed in export.seeds:
+                    entry.seeds[seed] = None
+                self._views[key] = entry
+                self.statistics.views_built += 1
+                restored += 1
+            except Exception:  # pragma: no cover - defensive best effort
+                if key is not None:
+                    self._views.pop(key, None)
+                continue
+        for export in state.answers:
+            try:
+                key, plan = self._plan_entry(export.query)
+            except Exception:
+                continue
+            plan_key = (
+                key if export.repairable and key in self._views else None
+            )
+            self._answers[export.query] = (
+                export.answers,
+                plan.depends,
+                plan_key,
+            )
+            self._answers.move_to_end(export.query)
+            while len(self._answers) > self._answer_cache_size:
+                self._answers.popitem(last=False)
+        return restored
+
+    def _representative_query(
+        self, key: tuple, plan: QueryPlan
+    ) -> Optional[ConjunctiveQuery]:
+        """A concrete query whose shape recompiles to exactly this plan.
+
+        The plan cache key carries the canonical (constant-abstracted)
+        literals and the parameter order; substituting the plan program's
+        recorded constant vector back in inverts
+        :func:`~repro.query.magic.canonicalize_query`.
+        """
+        try:
+            literals, answer_variables, parameters = key[1]
+            constants = plan.program.constants
+            if len(parameters) != len(constants):
+                return None
+            substitution = dict(zip(parameters, constants))
+            concrete = tuple(
+                Literal(
+                    apply_substitution(literal.atom, substitution),
+                    literal.positive,
+                )
+                for literal in literals
+            )
+            return ConjunctiveQuery(concrete, answer_variables)
+        except Exception:  # pragma: no cover - defensive best effort
+            return None
 
     def add_facts(self, atoms: Iterable[Atom]) -> int:
         """Insert facts; returns the number actually new.

@@ -10,9 +10,23 @@ applies coalesced mutation batches and incremental view repairs.  Admission
 control (bounded write queue, ``block``/``reject`` backpressure) and
 :class:`ServiceStatistics` make the serving behaviour observable.
 
-See ``docs/serving.md`` for the architecture walk-through.
+With ``durability=`` (or :meth:`DatalogService.open`), the service adds a
+write-ahead fact log, periodic checkpoints of the facts plus the session's
+warm state, and a warm-restart recovery path — an acknowledged write is
+never lost by a crash and never applied twice by recovery
+(:mod:`repro.service.durability`).
+
+See ``docs/serving.md`` for the architecture walk-through and
+``docs/durability.md`` for the durability layer.
 """
 
+from .durability import DurabilityConfig, DurabilityManager
 from .service import DatalogService, Epoch, ServiceStatistics
 
-__all__ = ["DatalogService", "Epoch", "ServiceStatistics"]
+__all__ = [
+    "DatalogService",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "Epoch",
+    "ServiceStatistics",
+]

@@ -1,0 +1,802 @@
+"""Durable serving: write-ahead fact log, checkpoints, warm restart.
+
+:class:`repro.service.DatalogService` keeps everything in memory; this module
+gives it crash recovery with a classic two-file arrangement:
+
+* a **write-ahead fact log** (:class:`FactLog`) — an append-only file of
+  length-prefixed, CRC-32-checksummed JSON records, one per coalesced
+  ``apply_batch``, fsynced *before* the batch is applied or acknowledged.
+  Torn tails (a crash mid-append) are detected by the checksum on reopen and
+  truncated — the log always recovers to its longest valid prefix, never
+  applies a half-written record;
+* **checkpoints** (:class:`CheckpointStore`) — periodic snapshots of the base
+  facts *plus* the session's warm state (the maintained
+  :class:`~repro.engine.maintenance.MaterializedView` support tables and the
+  answer cache, see :meth:`~repro.query.session.QuerySession.export_warm_state`),
+  written to a temporary file, fsynced, and atomically renamed, so a crash
+  mid-checkpoint leaves the previous checkpoint untouched.  After a durable
+  checkpoint the log is compacted (reset to empty);
+* a **recovery path** (:meth:`DurabilityManager.recover`) — load the latest
+  valid checkpoint (falling back to the previous one if the latest fails
+  validation), then repair forward through the log tail as deltas.  Batch ids
+  recorded in every log record make replay *idempotent*: records at or below
+  the checkpoint's high-water batch id are skipped, so a crash landing
+  between the checkpoint rename and the log compaction — or between an
+  fsync and the epoch publish — never applies a batch twice.
+
+Every payload is JSON with a structural term encoding (``["c", name]`` /
+``["n", label]`` / ``["v", name]`` / ``["f", fn, [args]]``) rather than a
+rendered string: renderings conflate constants, nulls, and variables whose
+names collide, and these records must round-trip *any* atom the engine can
+hold.
+
+Crash-fuzz hooks: when the environment variable ``REPRO_CRASH_POINT`` is set
+to ``"<point>:<k>"``, the process SIGKILLs itself at the *k*-th hit of the
+named injection point (``wal.torn``, ``wal.pre_sync``, ``wal.post_sync``,
+``checkpoint.mid``, ``checkpoint.post_rename``).  ``wal.torn`` additionally
+writes only half of the framed record first — a SIGKILL alone loses no
+OS-buffered bytes, so torn tails must be manufactured deterministically.
+The hooks cost one environment probe per call site and nothing else; see
+``tests/test_crash_recovery.py`` for the battery driving them.
+
+See ``docs/durability.md`` for the log format, the checkpoint cadence, and
+the crash-window walkthrough.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.atoms import Atom, Literal, Predicate
+from ..core.queries import ConjunctiveQuery
+from ..core.terms import Constant, FunctionTerm, Null, Term, Variable
+from ..errors import DurabilityError
+from ..obs.metrics import MetricsRegistry, global_registry
+from ..obs.trace import get_tracer
+from ..query.session import AnswerExport, ViewExport, WarmState
+
+__all__ = [
+    "CheckpointStore",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "FactLog",
+    "RecoveredState",
+]
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# crash-fuzz injection points
+# --------------------------------------------------------------------------
+
+#: per-point hit counters of the crash injector (process-local)
+_crash_hits: Dict[str, int] = {}
+
+
+def _crash_armed(point: str) -> bool:
+    """``True`` iff this call is the configured *k*-th hit of *point*.
+
+    Reads ``REPRO_CRASH_POINT`` (``"<point>:<k>"``, *k* defaulting to 1) on
+    every call so the test harness can set it per subprocess; when unset —
+    production — the cost is one dictionary probe in ``os.environ``.
+    """
+    spec = os.environ.get("REPRO_CRASH_POINT")
+    if not spec:
+        return False
+    name, _, count = spec.partition(":")
+    if name != point:
+        return False
+    hits = _crash_hits.get(point, 0) + 1
+    _crash_hits[point] = hits
+    return hits == (int(count) if count else 1)
+
+
+def _crash_now() -> None:  # pragma: no cover - the process dies here
+    """Die exactly like the crash being simulated: no cleanup, no flush."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _maybe_crash(point: str) -> None:
+    if _crash_armed(point):  # pragma: no cover - subprocess-only
+        _crash_now()
+
+
+# --------------------------------------------------------------------------
+# structural JSON codec (terms, atoms, queries, warm state)
+# --------------------------------------------------------------------------
+
+
+def encode_term(term: Term) -> list:
+    """Structurally encode a term as a JSON-serialisable tagged list."""
+    if isinstance(term, Constant):
+        return ["c", term.name]
+    if isinstance(term, Null):
+        return ["n", term.label]
+    if isinstance(term, Variable):
+        return ["v", term.name]
+    if isinstance(term, FunctionTerm):
+        return [
+            "f",
+            term.function,
+            [encode_term(argument) for argument in term.arguments],
+        ]
+    raise DurabilityError(f"unencodable term {term!r}")
+
+
+def decode_term(payload: Sequence) -> Term:
+    """Inverse of :func:`encode_term`; raises on malformed input."""
+    tag = payload[0]
+    if tag == "c":
+        return Constant(payload[1])
+    if tag == "n":
+        return Null(payload[1])
+    if tag == "v":
+        return Variable(payload[1])
+    if tag == "f":
+        return FunctionTerm(
+            payload[1],
+            tuple(decode_term(argument) for argument in payload[2]),
+        )
+    raise DurabilityError(f"unknown term tag {tag!r}")
+
+
+def encode_atom(atom: Atom) -> list:
+    return [atom.predicate.name, [encode_term(term) for term in atom.terms]]
+
+
+def decode_atom(payload: Sequence) -> Atom:
+    name, terms = payload[0], payload[1]
+    return Atom(
+        Predicate(name, len(terms)),
+        tuple(decode_term(term) for term in terms),
+    )
+
+
+def encode_query(query: ConjunctiveQuery) -> dict:
+    return {
+        "literals": [
+            [encode_atom(literal.atom), literal.positive]
+            for literal in query.literals
+        ],
+        "answer": [encode_term(variable) for variable in query.answer_variables],
+    }
+
+
+def decode_query(payload: dict) -> ConjunctiveQuery:
+    literals = tuple(
+        Literal(decode_atom(atom), positive)
+        for atom, positive in payload["literals"]
+    )
+    answer = tuple(decode_term(variable) for variable in payload["answer"])
+    return ConjunctiveQuery(literals, answer)
+
+
+class _AtomInterner:
+    """Atom → small-integer table for the warm-state encoding.
+
+    Warm state repeats the same atoms relentlessly — a support record's
+    body atoms are other records' heads, the view base overlaps the fact
+    snapshot, answer rows share constants — so the payload stores each
+    distinct atom **once** in an ``"atoms"`` table and references it by
+    index everywhere else.  On a realistic checkpoint this shrinks the
+    file ~4x and, more importantly, turns recovery's dominant cost (tens
+    of thousands of redundant term decodes) into one decode per distinct
+    atom plus integer list indexing.
+    """
+
+    def __init__(self) -> None:
+        self._indices: Dict[Atom, int] = {}
+        self.encoded: List[list] = []
+
+    def ref(self, atom: Atom) -> int:
+        index = self._indices.get(atom)
+        if index is None:
+            index = len(self.encoded)
+            self._indices[atom] = index
+            self.encoded.append(encode_atom(atom))
+        return index
+
+
+def encode_warm_state(state: WarmState) -> dict:
+    """Encode a :class:`~repro.query.session.WarmState` for a checkpoint.
+
+    Atoms are interned (see :class:`_AtomInterner`); answer rows reuse the
+    table too, as single-atom rows of a pseudo-predicate, keeping one
+    codec path for everything.
+    """
+    interner = _AtomInterner()
+    row_predicate_cache: Dict[int, Predicate] = {}
+
+    def row_ref(row: Tuple[Term, ...]) -> int:
+        predicate = row_predicate_cache.get(len(row))
+        if predicate is None:
+            predicate = Predicate("\x00row", len(row))
+            row_predicate_cache[len(row)] = predicate
+        return interner.ref(Atom(predicate, row))
+
+    views = [
+        {
+            "query": encode_query(view.query),
+            "base": [interner.ref(atom) for atom in view.base],
+            "atoms": [interner.ref(atom) for atom in view.atoms],
+            "records": [
+                [
+                    position,
+                    interner.ref(head),
+                    [interner.ref(atom) for atom in body],
+                    [interner.ref(atom) for atom in negative],
+                ]
+                for position, head, body, negative in view.records
+            ],
+            "seeds": [interner.ref(atom) for atom in view.seeds],
+        }
+        for view in state.views
+    ]
+    answers = [
+        {
+            "query": encode_query(entry.query),
+            "rows": [row_ref(row) for row in entry.answers],
+            "repairable": entry.repairable,
+        }
+        for entry in state.answers
+    ]
+    return {"atoms": interner.encoded, "views": views, "answers": answers}
+
+
+def decode_warm_state(payload: dict) -> WarmState:
+    """Inverse of :func:`encode_warm_state`."""
+    table = [decode_atom(atom) for atom in payload["atoms"]]
+    views = tuple(
+        ViewExport(
+            query=decode_query(view["query"]),
+            base=tuple(table[ref] for ref in view["base"]),
+            atoms=tuple(table[ref] for ref in view["atoms"]),
+            records=tuple(
+                (
+                    position,
+                    table[head],
+                    tuple(table[ref] for ref in body),
+                    tuple(table[ref] for ref in negative),
+                )
+                for position, head, body, negative in view["records"]
+            ),
+            seeds=tuple(table[ref] for ref in view["seeds"]),
+        )
+        for view in payload["views"]
+    )
+    answers = tuple(
+        AnswerExport(
+            query=decode_query(entry["query"]),
+            answers=frozenset(table[ref].terms for ref in entry["rows"]),
+            repairable=bool(entry["repairable"]),
+        )
+        for entry in payload["answers"]
+    )
+    return WarmState(views=views, answers=answers)
+
+
+# --------------------------------------------------------------------------
+# record framing
+# --------------------------------------------------------------------------
+
+#: record header: little-endian payload length then CRC-32 of the payload
+_HEADER = struct.Struct("<II")
+
+
+def _frame(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _scan_frames(data: bytes, offset: int) -> Tuple[List[bytes], int]:
+    """Parse consecutive frames; returns (payloads, end-of-valid-prefix).
+
+    Stops — without raising — at the first record whose header runs past the
+    buffer, whose payload is short, or whose checksum mismatches: that is by
+    definition the torn tail.
+    """
+    payloads: List[bytes] = []
+    end = offset
+    size = len(data)
+    while end + _HEADER.size <= size:
+        length, checksum = _HEADER.unpack_from(data, end)
+        start = end + _HEADER.size
+        if start + length > size:
+            break
+        payload = data[start : start + length]
+        if zlib.crc32(payload) != checksum:
+            break
+        payloads.append(payload)
+        end = start + length
+    return payloads, end
+
+
+def _fsync_directory(path: Path) -> None:
+    """fsync a directory so a rename within it is durable (POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+# --------------------------------------------------------------------------
+# the write-ahead fact log
+# --------------------------------------------------------------------------
+
+_WAL_MAGIC = b"REPROWAL1\n"
+
+#: one batch decoded out of the log: (batch id, [(kind, atoms), ...])
+LoggedBatch = Tuple[int, List[Tuple[str, Tuple[Atom, ...]]]]
+
+
+class FactLog:
+    """Append-only write-ahead log of mutation batches.
+
+    One record per coalesced batch: ``{"batch": id, "ops": [[kind, [atom,
+    ...]], ...]}``, framed by :data:`_HEADER` (length + CRC-32).  ``fsync``
+    batching is the caller's: :meth:`append` only pushes the record to the
+    OS (a SIGKILL after ``append`` loses nothing), :meth:`sync` makes it
+    power-loss durable; :class:`DatalogService` calls them back to back per
+    *drain*, so a coalesced burst pays one fsync, aligned with its single
+    ``apply_batch``.
+    """
+
+    def __init__(self, path: Union[str, Path], *, fsync: bool = True) -> None:
+        self._path = Path(path)
+        self._fsync = fsync
+        self._file: Optional[io.BufferedRandom] = None
+        #: bytes appended / records appended / fsyncs issued / tails truncated
+        self.bytes_written = 0
+        self.records_written = 0
+        self.syncs = 0
+        self.torn_tails = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def open_and_recover(self) -> List[LoggedBatch]:
+        """Open the log (creating it empty), truncating any torn tail.
+
+        Returns the decoded valid batches, oldest first.  A file whose very
+        magic is damaged is *not* a torn tail — that is corruption of
+        acknowledged history — and raises :class:`DurabilityError` rather
+        than silently discarding it.
+        """
+        exists = self._path.exists()
+        self._file = open(self._path, "r+b" if exists else "x+b")
+        if fcntl is not None:
+            try:
+                fcntl.flock(self._file.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self._file.close()
+                self._file = None
+                raise DurabilityError(
+                    f"write-ahead log {self._path} is already open "
+                    "in another process"
+                )
+        data = self._file.read() if exists else b""
+        if not data.startswith(_WAL_MAGIC):
+            if _WAL_MAGIC.startswith(data):
+                # Empty or mid-magic torn: a log that never committed its
+                # header holds no acknowledged history; start it fresh.
+                self._file.seek(0)
+                self._file.truncate()
+                self._file.write(_WAL_MAGIC)
+                self._file.flush()
+                self._do_sync()
+                return []
+            self._file.close()
+            self._file = None
+            raise DurabilityError(
+                f"{self._path} is not a repro write-ahead log"
+            )
+        payloads, end = _scan_frames(data, len(_WAL_MAGIC))
+        if end < len(data):
+            self.torn_tails += 1
+            self._file.seek(end)
+            self._file.truncate()
+            self._file.flush()
+            self._do_sync()
+        else:
+            self._file.seek(end)
+        batches: List[LoggedBatch] = []
+        for payload in payloads:
+            record = json.loads(payload.decode("utf-8"))
+            ops = [
+                (kind, tuple(decode_atom(atom) for atom in atoms))
+                for kind, atoms in record["ops"]
+            ]
+            batches.append((record["batch"], ops))
+        return batches
+
+    def append(
+        self, batch_id: int, ops: Sequence[Tuple[str, Sequence[Atom]]]
+    ) -> int:
+        """Append one batch record; returns the framed size in bytes."""
+        assert self._file is not None, "log not opened"
+        payload = json.dumps(
+            {
+                "batch": batch_id,
+                "ops": [
+                    [kind, [encode_atom(atom) for atom in atoms]]
+                    for kind, atoms in ops
+                ],
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        frame = _frame(payload)
+        if _crash_armed("wal.torn"):  # pragma: no cover - subprocess-only
+            # A SIGKILL loses no OS-buffered bytes, so a genuinely torn tail
+            # must be manufactured: push half the frame to the OS, then die.
+            self._file.write(frame[: max(1, len(frame) // 2)])
+            self._file.flush()
+            _crash_now()
+        self._file.write(frame)
+        self._file.flush()
+        _maybe_crash("wal.pre_sync")
+        self.records_written += 1
+        self.bytes_written += len(frame)
+        return len(frame)
+
+    def sync(self) -> None:
+        """Make everything appended so far power-loss durable."""
+        assert self._file is not None, "log not opened"
+        self._do_sync()
+        _maybe_crash("wal.post_sync")
+
+    def _do_sync(self) -> None:
+        if self._fsync and self._file is not None:
+            os.fsync(self._file.fileno())
+            self.syncs += 1
+
+    def reset(self) -> None:
+        """Compact the log to empty (called after a durable checkpoint)."""
+        assert self._file is not None, "log not opened"
+        self._file.seek(len(_WAL_MAGIC))
+        self._file.truncate()
+        self._file.flush()
+        self._do_sync()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            self._do_sync()
+            self._file.close()
+            self._file = None
+
+
+# --------------------------------------------------------------------------
+# the checkpoint store
+# --------------------------------------------------------------------------
+
+_CKPT_MAGIC = b"REPROCKP1\n"
+_CKPT_PATTERN = "checkpoint-*.ckpt"
+
+
+class CheckpointStore:
+    """Atomic, validated checkpoint files in one directory.
+
+    Each checkpoint is ``checkpoint-<seq>.ckpt``: magic, then one framed
+    JSON payload.  :meth:`write` goes through a temporary file + fsync +
+    atomic rename + directory fsync, so the store always holds complete
+    checkpoints; :meth:`latest` validates newest-first and falls back, so
+    one corrupt file (torn rename on a dying disk, manual truncation) costs
+    one checkpoint of warmth, never correctness — the facts it carried are
+    still reachable through the previous checkpoint plus the uncompacted
+    log.
+    """
+
+    def __init__(self, directory: Union[str, Path], *, keep: int = 2) -> None:
+        self._directory = Path(directory)
+        self._keep = max(1, keep)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _paths(self) -> List[Path]:
+        return sorted(self._directory.glob(_CKPT_PATTERN))
+
+    def sequence_numbers(self) -> List[int]:
+        return [int(path.stem.split("-")[1]) for path in self._paths()]
+
+    def write(self, payload: dict) -> int:
+        """Durably write *payload* as the next checkpoint; returns its seq."""
+        numbers = self.sequence_numbers()
+        sequence = (numbers[-1] + 1) if numbers else 1
+        final = self._directory / f"checkpoint-{sequence:010d}.ckpt"
+        tmp = final.with_suffix(".ckpt.tmp")
+        data = _CKPT_MAGIC + _frame(
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        )
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _maybe_crash("checkpoint.mid")
+        os.replace(tmp, final)
+        _fsync_directory(self._directory)
+        self._prune()
+        return sequence
+
+    def _prune(self) -> None:
+        paths = self._paths()
+        for stale in paths[: -self._keep]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+        for orphan in self._directory.glob("*.ckpt.tmp"):
+            try:
+                orphan.unlink()
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+
+    def latest(self) -> Optional[Tuple[int, dict]]:
+        """The newest checkpoint that validates, or ``None``.
+
+        Validation covers the magic, the frame checksum, and JSON decoding;
+        an invalid newest file falls back to the one before it.
+        """
+        for path in reversed(self._paths()):
+            payload = self._load(path)
+            if payload is not None:
+                return int(path.stem.split("-")[1]), payload
+        return None
+
+    @staticmethod
+    def _load(path: Path) -> Optional[dict]:
+        try:
+            data = path.read_bytes()
+        except OSError:  # pragma: no cover - racing cleanup
+            return None
+        if not data.startswith(_CKPT_MAGIC):
+            return None
+        payloads, end = _scan_frames(data, len(_CKPT_MAGIC))
+        if len(payloads) != 1 or end != len(data):
+            return None
+        try:
+            payload = json.loads(payloads[0].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+
+# --------------------------------------------------------------------------
+# configuration + recovery surface
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Knobs of one durable store directory.
+
+    ``checkpoint_every`` is the cadence in logged batches between automatic
+    checkpoints (the log tail — and so the recovery repair work — is bounded
+    by it); ``fsync=False`` trades power-loss durability for speed while
+    keeping process-crash durability (the OS page cache survives SIGKILL);
+    ``compact_log=False`` keeps the full log across checkpoints, which makes
+    recovery robust even to *every* checkpoint failing validation, at the
+    price of unbounded log growth.
+    """
+
+    path: Union[str, Path]
+    checkpoint_every: int = 64
+    fsync: bool = True
+    checkpoint_on_close: bool = True
+    compact_log: bool = True
+    keep_checkpoints: int = 2
+    restore_warm: bool = True
+
+    @classmethod
+    def of(
+        cls, value: Union[None, str, Path, "DurabilityConfig"]
+    ) -> Optional["DurabilityConfig"]:
+        """Coerce a user-facing ``durability=`` argument to a config."""
+        if value is None or isinstance(value, DurabilityConfig):
+            return value
+        return cls(path=value)
+
+
+@dataclass
+class RecoveredState:
+    """What :meth:`DurabilityManager.recover` hands the service.
+
+    ``fresh`` means the store held neither a checkpoint nor logged batches
+    — the caller seeds it from its own initial database.  ``tail`` carries
+    the logged batches *beyond* the checkpoint's high-water ``batch_id``
+    (already deduplicated), to be replayed in order through
+    :meth:`~repro.query.session.QuerySession.apply_batch`; ``warm`` is the
+    checkpoint's warm state, already digest-checked by the caller before
+    restoring.
+    """
+
+    fresh: bool
+    facts: Tuple[Atom, ...]
+    revision: int
+    batch_id: int
+    digest: Optional[str]
+    warm: Optional[WarmState]
+    tail: List[LoggedBatch]
+
+
+class DurabilityManager:
+    """The service-facing facade tying the log and the store together.
+
+    Owns one directory::
+
+        <path>/facts.wal            the write-ahead fact log
+        <path>/checkpoint-N.ckpt    the last ``keep_checkpoints`` checkpoints
+
+    and reports ``service_wal_*`` / ``service_checkpoints`` /
+    ``service_recovered_batches`` counters into the metrics registry, plus
+    ``service.recover`` / ``service.checkpoint`` tracer spans.
+    """
+
+    def __init__(
+        self,
+        config: DurabilityConfig,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config
+        self._directory = Path(config.path)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        registry = metrics if metrics is not None else global_registry()
+        self._wal_records = registry.counter(
+            "service_wal_records",
+            help="Batch records appended to the write-ahead fact log.",
+        )
+        self._wal_bytes = registry.counter(
+            "service_wal_bytes",
+            help="Framed bytes appended to the write-ahead fact log.",
+        )
+        self._wal_syncs = registry.counter(
+            "service_wal_syncs",
+            help="fsync calls issued by the write-ahead fact log.",
+        )
+        self._wal_torn = registry.counter(
+            "service_wal_torn_tails",
+            help="Torn log tails detected (and truncated) during recovery.",
+        )
+        self._checkpoints = registry.counter(
+            "service_checkpoints",
+            help="Durable checkpoints written (snapshot + warm state).",
+        )
+        self._recovered = registry.counter(
+            "service_recovered_batches",
+            help="Logged batches replayed beyond the checkpoint on recovery.",
+        )
+        self.store = CheckpointStore(
+            self._directory, keep=config.keep_checkpoints
+        )
+        self.log = FactLog(self._directory / "facts.wal", fsync=config.fsync)
+        self._since_checkpoint = 0
+
+    # ---------------------------------------------------------------- recover
+    def recover(self) -> RecoveredState:
+        """Open the store: checkpoint + idempotent log-tail replay plan."""
+        tracer = get_tracer()
+        span = tracer.start("service.recover") if tracer.enabled else None
+        try:
+            batches = self.log.open_and_recover()
+            if self.log.torn_tails:
+                self._wal_torn.inc(self.log.torn_tails)
+            latest = self.store.latest()
+            if latest is None:
+                facts: Tuple[Atom, ...] = ()
+                revision = 0
+                batch_id = 0
+                digest: Optional[str] = None
+                warm: Optional[WarmState] = None
+            else:
+                _, payload = latest
+                facts = tuple(
+                    decode_atom(atom) for atom in payload["facts"]
+                )
+                revision = int(payload["revision"])
+                batch_id = int(payload["batch_id"])
+                digest = payload.get("digest")
+                warm = None
+                if self.config.restore_warm and payload.get("warm"):
+                    try:
+                        warm = decode_warm_state(payload["warm"])
+                    except Exception:
+                        # Warmth is an optimisation; a checkpoint whose warm
+                        # payload fails to decode still recovers cold.
+                        warm = None
+            # Idempotent replay: everything at or below the checkpoint's
+            # high-water batch id is already inside the snapshot.
+            tail = [
+                (logged_id, ops)
+                for logged_id, ops in batches
+                if logged_id > batch_id
+            ]
+            if tail:
+                self._recovered.inc(len(tail))
+            self._since_checkpoint = len(tail)
+            return RecoveredState(
+                fresh=latest is None and not batches,
+                facts=facts,
+                revision=revision,
+                batch_id=batch_id,
+                digest=digest,
+                warm=warm,
+                tail=tail,
+            )
+        finally:
+            if span is not None:
+                span.finish(
+                    torn=self.log.torn_tails,
+                    tail=self._since_checkpoint,
+                )
+
+    # -------------------------------------------------------------- the log
+    def log_batch(
+        self, batch_id: int, ops: Sequence[Tuple[str, Sequence[Atom]]]
+    ) -> None:
+        """Durably log one batch (append + the drain's single fsync)."""
+        size = self.log.append(batch_id, ops)
+        self.log.sync()
+        self._wal_records.inc()
+        self._wal_bytes.inc(size)
+        self._wal_syncs.inc()
+        self._since_checkpoint += 1
+
+    def should_checkpoint(self) -> bool:
+        """``True`` once ``checkpoint_every`` batches were logged."""
+        return self._since_checkpoint >= max(1, self.config.checkpoint_every)
+
+    # --------------------------------------------------------- checkpointing
+    def checkpoint(
+        self,
+        *,
+        batch_id: int,
+        revision: int,
+        digest: Optional[str],
+        facts: Iterable[Atom],
+        warm: Optional[WarmState] = None,
+    ) -> int:
+        """Write a durable checkpoint, then compact the log; returns seq."""
+        tracer = get_tracer()
+        span = tracer.start("service.checkpoint") if tracer.enabled else None
+        try:
+            payload = {
+                "format": 1,
+                "batch_id": batch_id,
+                "revision": revision,
+                "digest": digest,
+                "facts": [encode_atom(atom) for atom in facts],
+                "warm": encode_warm_state(warm) if warm is not None else None,
+            }
+            sequence = self.store.write(payload)
+            _maybe_crash("checkpoint.post_rename")
+            if self.config.compact_log:
+                self.log.reset()
+            self._since_checkpoint = 0
+            self._checkpoints.inc()
+            return sequence
+        finally:
+            if span is not None:
+                span.finish(batch_id=batch_id, revision=revision)
+
+    def close(self) -> None:
+        self.log.close()

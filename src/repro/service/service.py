@@ -54,7 +54,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom
 from ..core.database import Database
@@ -64,6 +64,7 @@ from ..engine.stats import EngineStatistics
 from ..obs.metrics import MetricsRegistry, MetricsSnapshot, global_registry
 from ..obs.trace import get_tracer
 from ..errors import (
+    DurabilityError,
     ServiceClosedError,
     ServiceOverloadedError,
     StratificationError,
@@ -77,6 +78,7 @@ from ..query.session import (
     _query_shape,
     compile_query_plan,
 )
+from .durability import DurabilityConfig, DurabilityManager
 
 __all__ = ["DatalogService", "Epoch", "ServiceStatistics"]
 
@@ -232,6 +234,20 @@ class DatalogService:
         the queue-depth / epoch-lag / pending-futures gauges.  Defaults to
         :func:`repro.obs.global_registry`; pass a private registry for
         isolation.  :meth:`stats` snapshots it.
+    durability:
+        ``None`` (default) keeps the PR 5 behaviour — everything in memory,
+        nothing survives the process.  A path (or a
+        :class:`~repro.service.durability.DurabilityConfig`) makes the
+        service durable: every coalesced batch is appended to a
+        write-ahead fact log and fsynced *before* it is applied or its
+        futures acknowledged, checkpoints snapshot the facts plus the
+        session's warm state every ``checkpoint_every`` batches (and on
+        close), and constructing a service over an existing store recovers
+        it — latest valid checkpoint, warm-state restore, then idempotent
+        log-tail replay — before serving the first read.
+        :meth:`DatalogService.open` is the ergonomic spelling.  An
+        acknowledged write is never lost by a crash and never applied
+        twice by recovery; see ``docs/durability.md``.
 
     The service starts its writer thread on construction and must be closed
     (``close()`` or ``with DatalogService(...) as service:``) to release it.
@@ -255,21 +271,78 @@ class DatalogService:
         max_atoms: Optional[int] = None,
         stable_options: Optional[dict] = None,
         metrics: Optional[MetricsRegistry] = None,
+        durability: "Optional[DurabilityConfig | str]" = None,
     ) -> None:
         if backpressure not in ("block", "reject"):
             raise ValueError(
                 f"backpressure must be 'block' or 'reject', got {backpressure!r}"
             )
+        # The registry is resolved before the durability layer so recovery
+        # counters (torn tails, replayed batches) land on it too.
+        self._metrics = metrics if metrics is not None else global_registry()
+        initial: Iterable[Atom] = (
+            database.atoms if isinstance(database, Database) else tuple(database)
+        )
+        self._durability: Optional[DurabilityManager] = None
+        #: id the next logged batch gets; ids are contiguous per store
+        #: lifetime and make log replay idempotent across restarts.
+        self._next_batch_id = 1
+        recovered = None
+        config = DurabilityConfig.of(durability)
+        if config is not None:
+            self._durability = DurabilityManager(config, metrics=self._metrics)
+            recovered = self._durability.recover()
+            if not recovered.fresh and initial:
+                self._durability.close()
+                raise DurabilityError(
+                    "cannot seed an existing durable store with an initial "
+                    "database; open it without facts and mutate instead"
+                )
+            if not recovered.fresh:
+                initial = recovered.facts
         self._session = QuerySession(
-            database,
+            initial,
             rules,
             fallback=fallback,
             maintenance=maintenance,
             max_atoms=max_atoms,
             stable_options=stable_options,
             plan_cache_size=plan_cache_size,
-            metrics=metrics,
+            metrics=self._metrics,
         )
+        if recovered is not None and not recovered.fresh:
+            if (
+                recovered.warm is not None
+                and recovered.digest == self._session.digest
+            ):
+                # Same rules as the checkpointing process: the maintained
+                # views and cached answers pick up where they left off.  A
+                # digest mismatch (rules changed across restarts) keeps the
+                # facts and silently drops the warmth — the views would be
+                # materialisations of the *old* program.
+                self._session.restore_warm_state(recovered.warm)
+            # Continue the previous incarnation's revision line so the
+            # revisions readers observe stay monotone across a restart.
+            self._session._revision = recovered.revision
+            for logged_id, ops in recovered.tail:
+                # O(tail) repair, not O(rebuild): each logged batch goes
+                # through apply_batch, whose maintained views absorb it as
+                # an incremental delta over the checkpointed support tables.
+                self._session.apply_batch(ops)
+                self._next_batch_id = logged_id + 1
+            if not recovered.tail:
+                self._next_batch_id = recovered.batch_id + 1
+        if recovered is not None and recovered.fresh:
+            # A brand-new store immediately checkpoints the initial database:
+            # the log only ever carries *mutations*, so the base facts must
+            # be durable before the first batch is acknowledged.
+            self._durability.checkpoint(
+                batch_id=0,
+                revision=self._session.revision,
+                digest=self._session.digest,
+                facts=self._session.facts,
+                warm=None,
+            )
         self._fallback = fallback
         self._stable_options = dict(stable_options or {})
         self._max_atoms = max_atoms
@@ -281,7 +354,6 @@ class DatalogService:
         self.statistics = ServiceStatistics()
 
         # ---- observability plumbing (see repro.obs and docs/observability.md)
-        self._metrics = metrics if metrics is not None else global_registry()
         # Flattened ``service_*`` counters; weakly referenced, so the
         # registry never extends the service's lifetime.
         self._metrics.register_stats(self.statistics, "service")
@@ -549,6 +621,20 @@ class DatalogService:
         atoms that were actually present when the writer applied it."""
         return self._enqueue("remove", atoms)
 
+    def checkpoint(self, timeout: Optional[float] = None) -> int:
+        """Force a durable checkpoint now; returns its sequence number.
+
+        Rides the write queue like any mutation, so every batch enqueued
+        before this call is inside the snapshot it writes.  Requires the
+        service to have been constructed with ``durability=``.
+        """
+        if self._durability is None:
+            raise ValueError(
+                "checkpoint() requires a durable service; pass durability= "
+                "or use DatalogService.open(path)"
+            )
+        return self._enqueue("checkpoint", ()).result(timeout)
+
     def flush(self, timeout: Optional[float] = None) -> None:
         """Block until everything enqueued so far is applied and published.
 
@@ -602,7 +688,7 @@ class DatalogService:
                 while not self._pending and not self._closed:
                     self._not_empty.wait()
                 if not self._pending and self._closed:
-                    return
+                    break
             if self._coalesce_window > 0:
                 # Linger: let a burst accumulate so it rides one batch (and
                 # pays for one epoch publish) instead of one publish per op.
@@ -625,6 +711,14 @@ class DatalogService:
                         except Exception:
                             pass
                 continue
+        # Drained and closing: one final checkpoint makes the next open warm
+        # (and empties the log), without a single acknowledged batch at risk
+        # — everything the log holds is already inside the snapshot.
+        if (
+            self._durability is not None
+            and self._durability.config.checkpoint_on_close
+        ):
+            self._checkpoint_now()
 
     def _apply(self, batch: List[_PendingOp]) -> None:
         # Transition every future to RUNNING; a future the caller already
@@ -643,11 +737,74 @@ class DatalogService:
             else None
         )
         try:
-            self._apply_inner(batch)
+            mutations = [op for op in batch if op.kind != "checkpoint"]
+            controls = [op for op in batch if op.kind == "checkpoint"]
+            if self._durability is not None and any(
+                op.atoms for op in mutations
+            ):
+                # Write-ahead: the batch is durable (fsynced, one sync per
+                # drain) before anything is applied or acknowledged, so an
+                # acknowledged write survives any crash after this point.
+                batch_id = self._next_batch_id
+                try:
+                    self._durability.log_batch(
+                        batch_id,
+                        [(op.kind, op.atoms) for op in mutations],
+                    )
+                except BaseException as error:
+                    # Nothing was applied; fail every future in the drain
+                    # (controls included) rather than acknowledging writes
+                    # the log could not hold.
+                    for op in batch:
+                        if not op.future.done():
+                            op.future.set_exception(error)
+                    return
+                self._next_batch_id = batch_id + 1
+            if mutations:
+                self._apply_inner(mutations)
+            if self._durability is not None and (
+                controls or self._durability.should_checkpoint()
+            ):
+                # A control-only drain still drains the reader-hot set
+                # first, so an explicit ``checkpoint()`` call captures the
+                # warmth a restart will want.
+                if not mutations and self._warm():
+                    self._publish()
+                self._checkpoint_now(controls)
         finally:
             self._inflight = 0
             if span is not None:
                 span.finish(revision=self._session.revision)
+
+    def _checkpoint_now(self, controls: Sequence[_PendingOp] = ()) -> None:
+        """Write a checkpoint, resolving any waiting ``checkpoint()`` calls.
+
+        Failures resolve the waiters exceptionally but never escape: a
+        cadence-triggered checkpoint that cannot be written (disk full)
+        must not kill the writer thread — the log keeps growing and the
+        checkpoint is retried at the next cadence hit.
+        """
+        assert self._durability is not None
+        try:
+            try:
+                warm = self._session.export_warm_state()
+            except Exception:  # pragma: no cover - warmth is best-effort
+                warm = None
+            sequence = self._durability.checkpoint(
+                batch_id=self._next_batch_id - 1,
+                revision=self._session.revision,
+                digest=self._session.digest,
+                facts=self._session.facts,
+                warm=warm,
+            )
+        except BaseException as error:
+            for op in controls:
+                if not op.future.done():
+                    op.future.set_exception(error)
+            return
+        for op in controls:
+            if not op.future.done():
+                op.future.set_result(sequence)
 
     def _apply_inner(self, batch: List[_PendingOp]) -> None:
         revision_before = self._session.revision
@@ -731,6 +888,26 @@ class DatalogService:
         return self._metrics.snapshot()
 
     # ------------------------------------------------------------- lifecycle
+    @classmethod
+    def open(
+        cls, path, rules=(), **kwargs
+    ) -> "DatalogService":
+        """Open (or create) a durable service over the store at *path*.
+
+        A fresh directory starts an empty durable service; an existing one
+        is recovered — latest valid checkpoint, warm-state restore, then
+        idempotent replay of the log tail — before the first read is
+        served.  Equivalent to ``DatalogService((), rules,
+        durability=path, **kwargs)``; all other constructor keywords pass
+        through.
+        """
+        return cls((), rules, durability=path, **kwargs)
+
+    @property
+    def durable(self) -> bool:
+        """``True`` iff the service persists through a durability store."""
+        return self._durability is not None
+
     def close(self, timeout: Optional[float] = None) -> None:
         """Drain the queue, stop the writer thread, and join it.
 
@@ -743,6 +920,10 @@ class DatalogService:
             self._not_empty.notify_all()
             self._not_full.notify_all()
         self._writer.join(timeout)
+        if self._durability is not None:
+            # After the join: the writer's close-time checkpoint (if
+            # configured) has been written, nothing touches the log again.
+            self._durability.close()
         # Unhook the gauge callbacks: they close over ``self``, and a shared
         # (global) registry would otherwise keep every closed service alive
         # and keep summing its queue depth into the gauges.

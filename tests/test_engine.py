@@ -247,6 +247,69 @@ class TestBackends:
         assert set(reopened) == {edge(a, b), node(c)}
         assert not reopened.insert(edge(a, b))  # dedup survives reopen
 
+    def test_sqlite_opens_with_explicit_durability_pragmas(self, tmp_path):
+        backend = SQLiteBackend(str(tmp_path / "facts.db"))
+        (mode,) = backend._connection.execute(
+            "PRAGMA journal_mode"
+        ).fetchone()
+        assert mode == "wal"
+        (synchronous,) = backend._connection.execute(
+            "PRAGMA synchronous"
+        ).fetchone()
+        assert synchronous == 1  # NORMAL
+        # :memory: databases have no WAL to speak of, but must still open.
+        transient = SQLiteBackend()
+        (mode,) = transient._connection.execute(
+            "PRAGMA journal_mode"
+        ).fetchone()
+        assert mode == "memory"
+
+    def test_sqlite_copied_mid_transaction_db_opens_clean(self, tmp_path):
+        """The defined-crash-semantics regression of the durability PR.
+
+        A database file copied together with its WAL sidecar *while an
+        uncommitted write transaction is in flight* models the on-disk
+        state a kill lands on.  Opening the copy must succeed, roll the
+        torn transaction back (journal_mode=WAL), keep every committed
+        row, and pass an integrity check.
+        """
+        import shutil
+        import sqlite3
+
+        path = tmp_path / "facts.db"
+        backend = SQLiteBackend(str(path))
+        committed = {edge(a, b), node(c)}
+        for atom in committed:
+            backend.insert(atom)
+        # Open an explicit transaction and leave it hanging mid-write.
+        backend._connection.execute("BEGIN")
+        backend._connection.execute(
+            "INSERT INTO facts (predicate, arity, args, seq)"
+            " VALUES ('torn', 0, '', 999)"
+        )
+        copy_dir = tmp_path / "copy"
+        copy_dir.mkdir()
+        for sidecar in tmp_path.glob("facts.db*"):
+            shutil.copy(sidecar, copy_dir / sidecar.name)
+        backend._connection.rollback()
+        backend.close()
+
+        reopened = SQLiteBackend(str(copy_dir / "facts.db"))
+        assert set(reopened) == committed  # torn insert rolled back
+        (verdict,) = reopened._connection.execute(
+            "PRAGMA integrity_check"
+        ).fetchone()
+        assert verdict == "ok"
+        reopened.close()
+
+        # And plain sqlite3 agrees the copy is a healthy database.
+        connection = sqlite3.connect(copy_dir / "facts.db")
+        (count,) = connection.execute(
+            "SELECT COUNT(*) FROM facts WHERE predicate = 'torn'"
+        ).fetchone()
+        assert count == 0
+        connection.close()
+
     def test_sqlite_decoder_rejects_tampered_rows(self):
         backend = SQLiteBackend()
         backend.insert(node(a))
