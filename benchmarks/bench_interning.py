@@ -1,0 +1,238 @@
+"""Interned columnar tuple core vs the retained object-path matcher.
+
+The join executor has two planes: the interned row plane (``EncodedRule`` /
+``enumerate_bindings`` over dense integer ids — what ``fixpoint`` and the
+maintenance layer consume) and the object-path backtracker it transparently
+falls back to.  Handing ``enumerate_matches`` a ``negative_against`` oracle
+whose ``SymbolTable`` differs from the index's forces the object plane with
+identical semantics for positive-only patterns, so both planes can be timed
+head-to-head on the same stored data.
+
+Workloads mirror the acceptance criterion's join-heavy paths:
+
+* the **magic-sets shape** — the recursive reachability join of
+  bench_magic_sets, run over the materialised closure of its largest
+  instance (16 chains x 48 links);
+* the **chase shape** — a cyclic three-literal homomorphism join (the
+  pattern-matching core the restricted chase runs per applicability check)
+  on a seeded random graph.
+
+Hard asserts: the interned plane is >=3x faster on both joins, and the
+encode/decode overhead at the API edge (constants encoded on the way in,
+assignments decoded at yield) costs <=10% on tiny selective queries, where
+edge work — not join work — dominates.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro import parse_program
+from repro.core.atoms import Atom, Predicate
+from repro.core.terms import Constant, Variable
+from repro.engine import MemoryBackend, RelationIndex, SymbolTable, fixpoint
+from repro.engine.planner import (
+    CompiledRule,
+    compile_rule,
+    encode_rule,
+    enumerate_bindings,
+    enumerate_matches,
+)
+
+LINK = Predicate("link", 2)
+REACHABLE = Predicate("reachable", 2)
+EDGE = Predicate("e", 2)
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+REACH_RULES = parse_program(
+    """
+    link(X, Y) -> reachable(X, Y)
+    link(X, Z), reachable(Z, Y) -> reachable(X, Y)
+    """
+)
+
+#: The largest bench_magic_sets instance (chains, chain length).
+CHAINS, LENGTH = 16, 48
+#: The chase-shaped homomorphism workload (nodes, edges, seed).
+GRAPH_NODES, GRAPH_EDGES, GRAPH_SEED = 300, 2400, 7
+
+#: The recursive magic-sets join, enumerated over the full closure.
+REACH_JOIN = CompiledRule(
+    heads=(), positive=(Atom(LINK, (X, Z)), Atom(REACHABLE, (Z, Y))), negative=()
+)
+#: Triangle listing — the multi-literal cyclic join of a chase TGD body.
+TRIANGLE = CompiledRule(
+    heads=(),
+    positive=(Atom(EDGE, (X, Y)), Atom(EDGE, (Y, Z)), Atom(EDGE, (Z, X))),
+    negative=(),
+)
+
+
+def object_path_oracle() -> RelationIndex:
+    """An empty oracle with its own ``SymbolTable``.
+
+    Passing it as ``negative_against`` makes ``enumerate_matches`` refuse the
+    encoded plane (the oracle's ids would not be comparable) and fall back to
+    the object-path matcher; with no negative literals in the pattern the
+    oracle is never consulted, so results are unchanged.
+    """
+    return RelationIndex(backend=MemoryBackend(SymbolTable()))
+
+
+@pytest.fixture(scope="module")
+def reach_closure() -> RelationIndex:
+    atoms = [
+        Atom(LINK, (Constant(f"n{c}_{i}"), Constant(f"n{c}_{i + 1}")))
+        for c in range(CHAINS)
+        for i in range(LENGTH)
+    ]
+    closure = fixpoint([compile_rule(rule) for rule in REACH_RULES], atoms)
+    assert closure.count(REACHABLE) == CHAINS * LENGTH * (LENGTH + 1) // 2
+    return closure
+
+
+@pytest.fixture(scope="module")
+def triangle_graph() -> RelationIndex:
+    rng = random.Random(GRAPH_SEED)
+    edges = set()
+    while len(edges) < GRAPH_EDGES:
+        edges.add((rng.randrange(GRAPH_NODES), rng.randrange(GRAPH_NODES)))
+    return RelationIndex(
+        Atom(EDGE, (Constant(f"v{x}"), Constant(f"v{y}"))) for x, y in edges
+    )
+
+
+def count_interned(pattern: CompiledRule, index: RelationIndex) -> int:
+    """Consume the row plane the way fixpoint/maintenance do: raw bindings."""
+    encoded = encode_rule(pattern, index.symbols)
+    assert encoded.encodable
+    return sum(1 for _ in enumerate_bindings(encoded, index))
+
+
+def count_object(pattern: CompiledRule, index: RelationIndex) -> int:
+    """Consume the object plane the way the pre-interning engine did."""
+    return sum(
+        1
+        for _ in enumerate_matches(
+            pattern, index, negative_against=object_path_oracle()
+        )
+    )
+
+
+def best_of(runs, call):
+    times = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = call()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+# ---------------------------------------------------------------------------
+# recorded timings (BENCH_results.json artifact trail, not gating)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("plane", ["interned", "object"])
+def test_reachability_join(benchmark, plane, reach_closure):
+    count = count_interned if plane == "interned" else count_object
+    matches = benchmark(lambda: count(REACH_JOIN, reach_closure))
+    assert matches == CHAINS * LENGTH * (LENGTH - 1) // 2
+
+
+@pytest.mark.parametrize("plane", ["interned", "object"])
+def test_triangle_homomorphism(benchmark, plane, triangle_graph):
+    count = count_interned if plane == "interned" else count_object
+    matches = benchmark(lambda: count(TRIANGLE, triangle_graph))
+    assert matches == count_object(TRIANGLE, triangle_graph)
+
+
+# ---------------------------------------------------------------------------
+# acceptance criteria (hard asserts)
+# ---------------------------------------------------------------------------
+
+
+def test_magic_sets_join_speedup_at_least_3x(reach_closure):
+    """>=3x on the recursive join of the largest bench_magic_sets instance."""
+    object_time, object_count = best_of(
+        3, lambda: count_object(REACH_JOIN, reach_closure)
+    )
+    interned_time, interned_count = best_of(
+        3, lambda: count_interned(REACH_JOIN, reach_closure)
+    )
+    assert interned_count == object_count
+    assert object_time >= 3 * interned_time, (
+        f"expected >=3x speedup, got {object_time / interned_time:.2f}x "
+        f"(object {object_time:.4f}s, interned {interned_time:.4f}s)"
+    )
+
+
+def test_chase_homomorphism_speedup_at_least_3x(triangle_graph):
+    """>=3x on the chase-shaped multi-literal homomorphism join."""
+    object_time, object_count = best_of(
+        3, lambda: count_object(TRIANGLE, triangle_graph)
+    )
+    interned_time, interned_count = best_of(
+        3, lambda: count_interned(TRIANGLE, triangle_graph)
+    )
+    assert interned_count == object_count
+    assert object_time >= 3 * interned_time, (
+        f"expected >=3x speedup, got {object_time / interned_time:.2f}x "
+        f"(object {object_time:.4f}s, interned {interned_time:.4f}s)"
+    )
+
+
+def test_api_edge_overhead_at_most_10_percent_on_tiny_queries():
+    """Tiny selective queries pay the full API edge — a bound constant is
+    encoded on the way in, every assignment is decoded at yield — with
+    almost no join work to amortise it.  The interned engine must stay
+    within 10% of the object path there."""
+    atoms = [
+        Atom(LINK, (Constant(f"n{c}_{i}"), Constant(f"n{c}_{i + 1}")))
+        for c in range(4)
+        for i in range(12)
+    ]
+    index = RelationIndex(atoms)
+    oracle = object_path_oracle()
+    patterns = [
+        CompiledRule(
+            heads=(), positive=(Atom(LINK, (Constant("n0_0"), Y)),), negative=()
+        ),
+        CompiledRule(
+            heads=(),
+            positive=(Atom(LINK, (Constant("n0_0"), Y)), Atom(LINK, (Y, Z))),
+            negative=(),
+        ),
+    ]
+    repeats = 2000
+    for pattern in patterns:
+
+        def interned():
+            return sum(
+                sum(1 for _ in enumerate_matches(pattern, index))
+                for _ in range(repeats)
+            )
+
+        def object_path():
+            return sum(
+                sum(
+                    1
+                    for _ in enumerate_matches(
+                        pattern, index, negative_against=oracle
+                    )
+                )
+                for _ in range(repeats)
+            )
+
+        interned()  # warm the encode cache before timing
+        object_time, object_count = best_of(5, object_path)
+        interned_time, interned_count = best_of(5, interned)
+        assert interned_count == object_count
+        assert interned_time <= 1.10 * object_time, (
+            f"API-edge overhead {interned_time / object_time - 1:+.1%} "
+            f"exceeds 10% on tiny query {pattern.positive} "
+            f"(interned {interned_time:.4f}s, object {object_time:.4f}s)"
+        )

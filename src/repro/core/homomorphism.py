@@ -30,6 +30,7 @@ from ..engine.index import (
     match_atom,
     match_terms,
 )
+from ..engine.planner import CompiledRule, enumerate_matches as _enumerate_matches
 from .atoms import Atom, Literal, Predicate, apply_substitution
 from .terms import Term
 
@@ -62,26 +63,22 @@ class AtomIndex(RelationIndex):
     """
 
 
-def _candidates(
-    index: RelationIndex, pattern: Atom, assignment: Mapping[Term, Term]
-) -> Sequence[Atom]:
-    """Index-accelerated candidate selection with a plain-scan fallback."""
-    selector = getattr(index, "candidates_for", None)
-    if selector is not None:
-        return selector(pattern, assignment)
-    return index.candidates(pattern.predicate)
+#: headless patterns compiled for the engine executor, keyed by literal shape
+_PATTERN_CACHE: Dict[tuple, CompiledRule] = {}
+_PATTERN_CACHE_LIMIT = 4096
 
 
-def _ordered_atoms(atoms: Sequence[Atom], partial: Mapping[Term, Term]) -> list[Atom]:
-    """Order pattern atoms so that the most constrained ones are matched first."""
-
-    def boundness(atom: Atom) -> tuple[int, int]:
-        unbound = sum(
-            1 for term in atom.terms if _is_flexible(term) and term not in partial
-        )
-        return (unbound, -len(atom.terms))
-
-    return sorted(atoms, key=boundness)
+def _compiled_pattern(
+    positive_atoms: Sequence[Atom], negative_atoms: Sequence[Atom]
+) -> CompiledRule:
+    key = (tuple(positive_atoms), tuple(negative_atoms))
+    compiled = _PATTERN_CACHE.get(key)
+    if compiled is None:
+        if len(_PATTERN_CACHE) >= _PATTERN_CACHE_LIMIT:
+            _PATTERN_CACHE.clear()
+        compiled = CompiledRule(heads=(), positive=key[0], negative=key[1])
+        _PATTERN_CACHE[key] = compiled
+    return compiled
 
 
 def extend_homomorphisms(
@@ -92,6 +89,11 @@ def extend_homomorphisms(
     negative_against: Optional[RelationIndex] = None,
 ) -> Iterator[Homomorphism]:
     """Enumerate all homomorphisms mapping the pattern into *index*.
+
+    The pattern is compiled (and cached, keyed on its literal shape) to a
+    headless :class:`~repro.engine.planner.CompiledRule` and enumerated by
+    the engine executor, so homomorphism checks run on the same interned
+    row-plane join as rule evaluation whenever the pattern is encodable.
 
     Parameters
     ----------
@@ -109,29 +111,10 @@ def extend_homomorphisms(
         The index against which negative atoms are checked; defaults to
         *index*.
     """
-    base: Homomorphism = dict(partial) if partial else {}
-    check_against = negative_against if negative_against is not None else index
-    ordered = _ordered_atoms(positive_atoms, base)
-
-    def backtrack(position: int, assignment: Homomorphism) -> Iterator[Homomorphism]:
-        if position == len(ordered):
-            for negative in negative_atoms:
-                image = apply_substitution(negative, assignment)
-                if not image.is_ground:
-                    raise ValueError(
-                        f"negative atom {negative} not fully bound (unsafe pattern)"
-                    )
-                if image in check_against:
-                    return
-            yield dict(assignment)
-            return
-        pattern = ordered[position]
-        for candidate in _candidates(index, pattern, assignment):
-            extended = match_atom(pattern, candidate, assignment)
-            if extended is not None:
-                yield from backtrack(position + 1, extended)
-
-    yield from backtrack(0, base)
+    compiled = _compiled_pattern(positive_atoms, negative_atoms)
+    yield from _enumerate_matches(
+        compiled, index, partial=partial, negative_against=negative_against
+    )
 
 
 def homomorphisms(

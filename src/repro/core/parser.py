@@ -31,6 +31,7 @@ Lines may end with an optional ``.``; ``%`` and ``#`` start comments.
 from __future__ import annotations
 
 import re
+import sys
 from typing import Iterable, Iterator, Sequence
 
 from ..errors import ParseError
@@ -117,14 +118,18 @@ class _TokenStream:
 
 
 def _term_from_token(kind: str, value: str) -> Term:
+    # Names are ``sys.intern``-ed: the same constants and null labels recur
+    # across every fact/rule of a program, and the engine's symbol table
+    # interns the same strings on decode — sharing one string object makes
+    # their hash/equality checks identity-fast end to end.
     if kind == "string":
-        return Constant(value[1:-1])
+        return Constant(sys.intern(value[1:-1]))
     if kind == "null":
-        return Null(value[2:])
+        return Null(sys.intern(value[2:]))
     if kind == "name":
         if value[0].isupper():
-            return Variable(value)
-        return Constant(value)
+            return Variable(sys.intern(value))
+        return Constant(sys.intern(value))
     raise ParseError(f"cannot read a term from {value!r}")
 
 
@@ -140,7 +145,7 @@ def _parse_atom(stream: _TokenStream) -> Atom:
     kind, value, position = stream.next()
     if kind not in ("name", "string"):
         raise ParseError("expected a predicate name", stream.text, position)
-    name = value[1:-1] if kind == "string" else value
+    name = sys.intern(value[1:-1] if kind == "string" else value)
     terms: list[Term] = []
     if stream.accept("("):
         if not stream.accept(")"):

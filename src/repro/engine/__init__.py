@@ -5,6 +5,13 @@ the chase, the relevant grounding, the well-founded and stable-model engines
 all bottom out here instead of re-implementing their own scan-and-backtrack
 loops.  It has five parts:
 
+* :mod:`~repro.engine.intern` — the interned columnar tuple core:
+  :class:`SymbolTable` (ground terms ↔ dense integer ids, interned once at
+  the storage boundary; :func:`global_symbols` is the process-wide default)
+  and :class:`TupleRelation` (per-predicate int-tuple rows with
+  ``array('q')``-backed columns).  Everything between ``RelationIndex.add``
+  and the API edge — storage, delta logs, pattern tables, joins — handles
+  plain integer rows;
 * :mod:`~repro.engine.index` — :class:`RelationIndex`, a multi-key hash index
   over ground atoms with delta tracking (``added_since``), replacing the old
   predicate-only ``AtomIndex``; versioned via :meth:`RelationIndex.snapshot`
@@ -14,7 +21,9 @@ loops.  It has five parts:
   over a shared base);
 * :mod:`~repro.engine.planner` — join planning: :class:`CompiledRule` and the
   greedy bound-connectivity / smallest-relation-first literal ordering, plus
-  the index-backed join executor :func:`enumerate_matches`;
+  the index-backed join executor :func:`enumerate_matches` and its row-plane
+  core :class:`EncodedRule` / :func:`enumerate_bindings` (slot bindings over
+  interned ids; assignments are decoded only at yield);
 * :mod:`~repro.engine.seminaive` — the generic semi-naive :func:`fixpoint`
   driver (delta rules, no rederivation) and the counter-propagation
   :class:`GroundProgramEvaluator` for ground programs;
@@ -45,13 +54,23 @@ from .index import (
     match_terms,
     resolve_term,
 )
+from .intern import Row, SymbolTable, TupleRelation, global_symbols
 from .maintenance import MaterializedView, SupportTable, ViewDelta
-from .planner import CompiledRule, compile_rule, enumerate_matches, order_body
+from .planner import (
+    CompiledRule,
+    EncodedRule,
+    compile_rule,
+    encode_rule,
+    enumerate_bindings,
+    enumerate_matches,
+    order_body,
+)
 from .seminaive import GroundProgramEvaluator, fixpoint
 from .stats import EngineStatistics
 
 __all__ = [
     "CompiledRule",
+    "EncodedRule",
     "EngineStatistics",
     "GroundProgramEvaluator",
     "MaterializedView",
@@ -60,15 +79,21 @@ __all__ = [
     "OverlayRelationIndex",
     "RelationIndex",
     "RelationSnapshot",
+    "Row",
     "SQLiteBackend",
     "StorageBackend",
     "SupportTable",
+    "SymbolTable",
     "Tick",
+    "TupleRelation",
     "VersionedRelationIndex",
     "ViewDelta",
     "compile_rule",
+    "encode_rule",
+    "enumerate_bindings",
     "enumerate_matches",
     "fixpoint",
+    "global_symbols",
     "is_flexible",
     "match_atom",
     "match_terms",

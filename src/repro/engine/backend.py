@@ -9,9 +9,20 @@ over a shared base) — and the rest of the engine (hash indexes, delta
 tracking, join planning) is built on top, so swapping the in-memory default
 for an out-of-core store is a one-line change at index construction time.
 
+Every backend speaks **two planes** over the same data:
+
+* the *atom plane* (``insert``/``remove``/``atoms_of``/``in``/``iter``) —
+  the public edge, trading in :class:`~repro.core.atoms.Atom` objects; and
+* the *row plane* (``insert_row``/``remove_row``/``contains_row``/
+  ``rows_of``) — the engine-internal fast path, trading in interned integer
+  tuples (see :mod:`repro.engine.intern`).  Atoms are encoded once when they
+  cross the atom plane and decoded back only through the symbol table's
+  canonical-atom cache, so the join engine above never hashes a term tree.
+
 Three backends ship with the engine:
 
-* :class:`MemoryBackend` — per-predicate list/set storage with predicate-level
+* :class:`MemoryBackend` — per-predicate :class:`TupleRelation` storage
+  (int-tuple rows with columnar scan arrays) with predicate-level
   copy-on-write: ``snapshot()`` is O(#predicates) and shares each relation
   until either side of the split writes it.  The default, and the right
   choice for everything that fits in RAM.
@@ -23,12 +34,15 @@ Three backends ship with the engine:
   a SQLite-backed instance.
 * :class:`OverlayBackend` — a writable layer over any read-only base view:
   additions live in a private :class:`MemoryBackend`, removals of base atoms
-  become **tombstones**.  Creating one is O(1) regardless of base size, which
-  is what makes per-query and per-repair evaluation branches affordable.
+  become **tombstones** (row-keyed).  Creating one is O(1) regardless of base
+  size, which is what makes per-query and per-repair evaluation branches
+  affordable.
 
-Terms are serialised with ``repr`` (all term classes have faithful, eval-able
-reprs) and decoded through a memoised table, so round-tripping through SQLite
-preserves object identity semantics (structural equality and hashing).
+On disk (SQLite), terms are serialised with ``repr`` (all term classes have
+faithful, eval-able reprs) and decoded through a memoised table, so
+round-tripping preserves object identity semantics (structural equality and
+hashing).  In memory, nothing but ids round-trips: all sharing between
+snapshots and forks is sharing of flat int structures.
 """
 
 from __future__ import annotations
@@ -36,10 +50,11 @@ from __future__ import annotations
 import ast
 import sqlite3
 import threading
-from typing import Dict, Iterable, Iterator, List, Protocol, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Sequence, Set
 
 from ..core.atoms import Atom, Predicate
 from ..core.terms import Constant, FunctionTerm, Null
+from .intern import Row, SymbolTable, TupleRelation, global_symbols
 
 __all__ = [
     "StorageBackend",
@@ -50,8 +65,14 @@ __all__ = [
 
 
 class StorageBackend(Protocol):
-    """The storage contract the engine requires."""
+    """The storage contract the engine requires (atom plane + row plane)."""
 
+    @property
+    def symbols(self) -> SymbolTable:
+        """The interning table rows of this backend are encoded against."""
+        ...
+
+    # ------------------------------------------------------------ atom plane
     def insert(self, atom: Atom) -> bool:
         """Store *atom*; return ``True`` iff it was not already present."""
         ...
@@ -86,112 +107,116 @@ class StorageBackend(Protocol):
 
     def predicates(self) -> Iterable[Predicate]: ...
 
+    # ------------------------------------------------------------- row plane
+    def insert_row(self, predicate: Predicate, row: Row) -> bool:
+        """Store an already-encoded row; ``True`` iff it was new."""
+        ...
 
-class _Relation:
-    """One predicate's rows: an insertion-ordered dict plus a cached scan list.
+    def remove_row(self, predicate: Predicate, row: Row) -> bool:
+        """Delete an already-encoded row; ``True`` iff it was present."""
+        ...
 
-    The dict gives O(1) membership, insertion **and removal** while
-    preserving insertion order; :meth:`scan` materialises (and caches) the
-    row list for sequence-shaped consumers.  Insertions keep a live cache
-    appended; a removal invalidates it, so a batch of removals pays one
-    O(|relation|) rebuild on the next scan instead of one per removal
-    (which is what makes the deletion cascades of
-    :mod:`repro.engine.maintenance` proportional to the delta).
+    def contains_row(self, predicate: Predicate, row: Row) -> bool: ...
 
-    ``shared`` marks the relation as referenced by more than one backend
-    (after a ``snapshot``); a writer must copy it first — predicate-level
-    copy-on-write.
-    """
-
-    __slots__ = ("rows", "shared", "_scan")
-
-    def __init__(self, rows: Dict[Atom, None] | None = None) -> None:
-        self.rows: Dict[Atom, None] = rows if rows is not None else {}
-        self.shared = False
-        self._scan: List[Atom] | None = None
-
-    def scan(self) -> List[Atom]:
-        if self._scan is None:
-            self._scan = list(self.rows)
-        return self._scan
-
-    def append(self, atom: Atom) -> None:
-        self.rows[atom] = None
-        if self._scan is not None:
-            self._scan.append(atom)
-
-    def discard(self, atom: Atom) -> None:
-        del self.rows[atom]
-        self._scan = None
-
-    def copy(self) -> "_Relation":
-        return _Relation(dict(self.rows))
+    def rows_of(self, predicate: Predicate) -> Sequence[Row]:
+        """All stored rows over *predicate*, in insertion order."""
+        ...
 
 
 class MemoryBackend:
     """Default in-memory storage with predicate-level copy-on-write.
 
-    Each predicate owns a :class:`_Relation` (insertion-ordered dict with a
-    cached scan list).  ``snapshot()`` shares every relation with
-    the new view and marks it ``shared``; the first subsequent write to a
-    shared relation — from either side — copies it, so a snapshot costs
-    O(#predicates) and later mutations cost O(|mutated relation|) once.
+    Each predicate owns a :class:`~repro.engine.intern.TupleRelation`
+    (insertion-ordered dict of int-tuple rows with cached scan lists and
+    columnar arrays).  ``snapshot()`` shares every relation with the new view
+    and marks it ``shared``; the first subsequent write to a shared relation
+    — from either side — copies it, so a snapshot costs O(#predicates) and
+    later mutations cost O(|mutated relation|) once.  What is shared and
+    copied are dicts of small int tuples, never term-object graphs.
     """
 
-    __slots__ = ("_rows", "_size")
+    __slots__ = ("_rows", "_size", "_symbols")
 
-    def __init__(self) -> None:
-        self._rows: Dict[Predicate, _Relation] = {}
+    def __init__(self, symbols: Optional[SymbolTable] = None) -> None:
+        self._rows: Dict[Predicate, TupleRelation] = {}
         self._size = 0
+        self._symbols = symbols if symbols is not None else global_symbols()
 
-    def _writable(self, predicate: Predicate) -> _Relation:
+    @property
+    def symbols(self) -> SymbolTable:
+        return self._symbols
+
+    def relation(self, predicate: Predicate) -> Optional[TupleRelation]:
+        """The raw columnar relation of *predicate* (for bulk readers)."""
+        return self._rows.get(predicate)
+
+    def _writable(self, predicate: Predicate) -> TupleRelation:
         relation = self._rows.get(predicate)
         if relation is None:
-            relation = _Relation()
+            relation = TupleRelation(predicate.arity)
             self._rows[predicate] = relation
         elif relation.shared:
             relation = relation.copy()
             self._rows[predicate] = relation
         return relation
 
-    def insert(self, atom: Atom) -> bool:
+    # ------------------------------------------------------------- row plane
+    def insert_row(self, predicate: Predicate, row: Row) -> bool:
         # Hot path: two dict probes in the common case.
-        relation = self._rows.get(atom.predicate)
+        relation = self._rows.get(predicate)
         if relation is None:
-            relation = _Relation()
-            self._rows[atom.predicate] = relation
-        elif atom in relation.rows:
+            relation = TupleRelation(predicate.arity)
+            self._rows[predicate] = relation
+        elif row in relation.rows:
             return False
         elif relation.shared:
             relation = relation.copy()
-            self._rows[atom.predicate] = relation
-        relation.append(atom)
+            self._rows[predicate] = relation
+        relation.append(row)
         self._size += 1
         return True
 
-    def remove(self, atom: Atom) -> bool:
-        relation = self._rows.get(atom.predicate)
-        if relation is None or atom not in relation.rows:
+    def remove_row(self, predicate: Predicate, row: Row) -> bool:
+        relation = self._rows.get(predicate)
+        if relation is None or row not in relation.rows:
             return False
-        relation = self._writable(atom.predicate)
+        relation = self._writable(predicate)
         # O(1) on the ordered dict; the cached scan list is invalidated and
         # rebuilt once per removal batch (insertion order is preserved, as
         # the protocol promises and deterministic chase runs rely on).
-        relation.discard(atom)
+        relation.discard(row)
         self._size -= 1
         return True
+
+    def contains_row(self, predicate: Predicate, row: Row) -> bool:
+        relation = self._rows.get(predicate)
+        return relation is not None and row in relation.rows
+
+    def rows_of(self, predicate: Predicate) -> Sequence[Row]:
+        relation = self._rows.get(predicate)
+        return relation.scan() if relation is not None else ()
+
+    # ------------------------------------------------------------ atom plane
+    def insert(self, atom: Atom) -> bool:
+        return self.insert_row(atom.predicate, self._symbols.encode_atom(atom))
+
+    def remove(self, atom: Atom) -> bool:
+        row = self._symbols.try_encode_atom(atom)
+        if row is None:
+            return False
+        return self.remove_row(atom.predicate, row)
 
     def snapshot(self) -> "MemoryBackend":
         """An O(#predicates) copy-on-write view of the current contents.
 
         Invariant: a relation marked ``shared`` is referenced by at least two
         backends and must never be mutated in place — every write path goes
-        through ``_writable`` (or the inlined equivalent in ``insert``),
+        through ``_writable`` (or the inlined equivalent in ``insert_row``),
         which copies first.  The mark is sticky (cleared only by copying),
         so chains of snapshots stay safe: sharing with a newer view cannot
         un-protect an older one.
         """
-        clone = MemoryBackend()
+        clone = MemoryBackend(self._symbols)
         for predicate, relation in self._rows.items():
             relation.shared = True
             clone._rows[predicate] = relation
@@ -200,18 +225,23 @@ class MemoryBackend:
 
     def __contains__(self, atom: Atom) -> bool:
         relation = self._rows.get(atom.predicate)
-        return relation is not None and atom in relation.rows
+        if relation is None:
+            return False
+        row = self._symbols.try_encode_atom(atom)
+        return row is not None and row in relation.rows
 
     def __len__(self) -> int:
         return self._size
 
     def __iter__(self) -> Iterator[Atom]:
-        for relation in list(self._rows.values()):
-            yield from relation.scan()
+        for predicate, relation in list(self._rows.items()):
+            yield from relation.atoms(self._symbols, predicate)
 
     def atoms_of(self, predicate: Predicate) -> Sequence[Atom]:
         relation = self._rows.get(predicate)
-        return relation.scan() if relation is not None else ()
+        if relation is None:
+            return ()
+        return relation.atoms(self._symbols, predicate)
 
     def count(self, predicate: Predicate) -> int:
         relation = self._rows.get(predicate)
@@ -224,26 +254,33 @@ class MemoryBackend:
 class OverlayBackend:
     """A writable branch layered over a shared read-only *base* view.
 
-    Additions live in a private :class:`MemoryBackend`; removing a base atom
-    records a **tombstone** instead of touching the base, so any number of
-    overlays can branch off one base concurrently and each costs O(1) to
-    create plus O(its own writes) to hold.  Re-inserting a tombstoned atom
-    clears the tombstone (the atom is visible through the base again).
+    Additions live in a private :class:`MemoryBackend` (sharing the base's
+    symbol table, so rows from both layers are directly comparable);
+    removing a base atom records a **row tombstone** instead of touching the
+    base, so any number of overlays can branch off one base concurrently and
+    each costs O(1) to create plus O(its own writes) to hold.  Re-inserting
+    a tombstoned atom clears the tombstone (the atom is visible through the
+    base again).
 
     The base must not be mutated while overlays over it are alive; take it
     from ``snapshot()`` (copy-on-write backends keep such views valid, and
     guarded views raise on violation).
     """
 
-    __slots__ = ("_base", "_local", "_tombstones", "_tombstone_counts")
+    __slots__ = ("_base", "_local", "_tombstones", "_tombstone_counts", "_tombstone_total")
 
     def __init__(self, base: StorageBackend) -> None:
         self._base = base
-        self._local = MemoryBackend()
-        self._tombstones: Set[Atom] = set()
+        self._local = MemoryBackend(base.symbols)
+        self._tombstones: Dict[Predicate, Set[Row]] = {}
         self._tombstone_counts: Dict[Predicate, int] = {}
+        self._tombstone_total = 0
 
     # ------------------------------------------------------------ layering
+    @property
+    def symbols(self) -> SymbolTable:
+        return self._local.symbols
+
     @property
     def base(self) -> StorageBackend:
         return self._base
@@ -255,85 +292,131 @@ class OverlayBackend:
     def has_tombstones(self, predicate: Predicate) -> bool:
         return self._tombstone_counts.get(predicate, 0) > 0
 
+    def is_tombstoned_row(self, predicate: Predicate, row: Row) -> bool:
+        tombstones = self._tombstones.get(predicate)
+        return tombstones is not None and row in tombstones
+
     def is_tombstoned(self, atom: Atom) -> bool:
-        return atom in self._tombstones
+        row = self.symbols.try_encode_atom(atom)
+        return row is not None and self.is_tombstoned_row(atom.predicate, row)
 
-    # ------------------------------------------------------------- protocol
-    def insert(self, atom: Atom) -> bool:
-        """Make *atom* visible in this branch; ``True`` iff it was not.
+    # ------------------------------------------------------------- row plane
+    def insert_row(self, predicate: Predicate, row: Row) -> bool:
+        """Make the row visible in this branch; ``True`` iff it was not.
 
-        Three disjoint cases, in check order: a **tombstoned base atom** is
-        resurrected (the tombstone is cleared; the atom is served by the
+        Three disjoint cases, in check order: a **tombstoned base row** is
+        resurrected (the tombstone is cleared; the row is served by the
         *base* again, not copied into the local layer — readers that keep
         separate base/local access paths rely on this, cf.
-        ``OverlayRelationIndex._note_added``); an atom **visible via the
+        ``OverlayRelationIndex._note_added``); a row **visible via the
         base** is a duplicate (``False``); anything else goes to the private
         local backend.  The base itself is never written.
         """
-        if atom in self._tombstones:
-            self._tombstones.discard(atom)
-            self._tombstone_counts[atom.predicate] -= 1
+        tombstones = self._tombstones.get(predicate)
+        if tombstones is not None and row in tombstones:
+            tombstones.discard(row)
+            self._tombstone_counts[predicate] -= 1
+            self._tombstone_total -= 1
             return True
-        if atom in self._base:
+        if self._base.contains_row(predicate, row):
             return False
-        return self._local.insert(atom)
+        return self._local.insert_row(predicate, row)
 
-    def remove(self, atom: Atom) -> bool:
-        """Hide *atom* from this branch; ``True`` iff it was visible.
+    def remove_row(self, predicate: Predicate, row: Row) -> bool:
+        """Hide the row from this branch; ``True`` iff it was visible.
 
-        A local addition is physically deleted; a visible base atom gets a
+        A local addition is physically deleted; a visible base row gets a
         **tombstone** (per-predicate tombstone counts let readers skip the
         filter for untouched relations); an already-tombstoned or unknown
-        atom is a no-op.  The base itself is never written.
+        row is a no-op.  The base itself is never written.
         """
-        if self._local.remove(atom):
+        if self._local.remove_row(predicate, row):
             return True
-        if atom in self._tombstones:
+        tombstones = self._tombstones.get(predicate)
+        if tombstones is not None and row in tombstones:
             return False
-        if atom in self._base:
-            self._tombstones.add(atom)
-            self._tombstone_counts[atom.predicate] = (
-                self._tombstone_counts.get(atom.predicate, 0) + 1
+        if self._base.contains_row(predicate, row):
+            if tombstones is None:
+                tombstones = self._tombstones.setdefault(predicate, set())
+            tombstones.add(row)
+            self._tombstone_counts[predicate] = (
+                self._tombstone_counts.get(predicate, 0) + 1
             )
+            self._tombstone_total += 1
             return True
         return False
+
+    def contains_row(self, predicate: Predicate, row: Row) -> bool:
+        if self._local.contains_row(predicate, row):
+            return True
+        if not self._base.contains_row(predicate, row):
+            return False
+        return not self.is_tombstoned_row(predicate, row)
+
+    def rows_of(self, predicate: Predicate) -> Sequence[Row]:
+        base_rows = self._base.rows_of(predicate)
+        tombstones = self._tombstones.get(predicate)
+        if tombstones:
+            base_rows = [row for row in base_rows if row not in tombstones]
+        local_rows = self._local.rows_of(predicate)
+        if not local_rows:
+            return base_rows
+        if not base_rows:
+            return local_rows
+        return list(base_rows) + list(local_rows)
+
+    # ------------------------------------------------------------ atom plane
+    def insert(self, atom: Atom) -> bool:
+        return self.insert_row(atom.predicate, self.symbols.encode_atom(atom))
+
+    def remove(self, atom: Atom) -> bool:
+        row = self.symbols.try_encode_atom(atom)
+        if row is None:
+            return False
+        return self.remove_row(atom.predicate, row)
 
     def snapshot(self) -> "OverlayBackend":
         clone = OverlayBackend(self._base)
         clone._local = self._local.snapshot()
-        clone._tombstones = set(self._tombstones)
+        clone._tombstones = {
+            predicate: set(rows) for predicate, rows in self._tombstones.items()
+        }
         clone._tombstone_counts = dict(self._tombstone_counts)
+        clone._tombstone_total = self._tombstone_total
         return clone
 
     def __contains__(self, atom: Atom) -> bool:
-        if atom in self._local:
-            return True
-        return atom in self._base and atom not in self._tombstones
+        row = self.symbols.try_encode_atom(atom)
+        if row is None:
+            return False
+        return self.contains_row(atom.predicate, row)
 
     def __len__(self) -> int:
-        return len(self._base) - len(self._tombstones) + len(self._local)
+        return len(self._base) - self._tombstone_total + len(self._local)
 
     def __iter__(self) -> Iterator[Atom]:
-        if self._tombstones:
+        if self._tombstone_total:
+            symbols = self.symbols
             for atom in self._base:
-                if atom not in self._tombstones:
-                    yield atom
+                tombstones = self._tombstones.get(atom.predicate)
+                if tombstones:
+                    row = symbols.try_encode_atom(atom)
+                    if row is not None and row in tombstones:
+                        continue
+                yield atom
         else:
             yield from self._base
         yield from self._local
 
     def atoms_of(self, predicate: Predicate) -> Sequence[Atom]:
-        base_atoms = self._base.atoms_of(predicate)
-        if self.has_tombstones(predicate):
-            base_atoms = [
-                atom for atom in base_atoms if atom not in self._tombstones
-            ]
-        local_atoms = self._local.atoms_of(predicate)
-        if not local_atoms:
-            return base_atoms
-        if not base_atoms:
-            return local_atoms
-        return list(base_atoms) + list(local_atoms)
+        if self.has_tombstones(predicate) or self._local.count(predicate):
+            # Merge on the row plane, decode through the canonical-atom
+            # cache (each distinct row constructs its atom at most once,
+            # process-wide).
+            symbols = self.symbols
+            decode = symbols.atom
+            return [decode(predicate, row) for row in self.rows_of(predicate)]
+        return self._base.atoms_of(predicate)
 
     def count(self, predicate: Predicate) -> int:
         return (
@@ -408,10 +491,20 @@ class _GuardedSnapshotView:
             )
         return self._backend
 
+    @property
+    def symbols(self) -> SymbolTable:
+        return self._backend.symbols
+
     def insert(self, atom: Atom) -> bool:
         raise TypeError("storage snapshots are read-only")
 
     def remove(self, atom: Atom) -> bool:
+        raise TypeError("storage snapshots are read-only")
+
+    def insert_row(self, predicate: Predicate, row: Row) -> bool:
+        raise TypeError("storage snapshots are read-only")
+
+    def remove_row(self, predicate: Predicate, row: Row) -> bool:
         raise TypeError("storage snapshots are read-only")
 
     def snapshot(self) -> "_GuardedSnapshotView":
@@ -420,6 +513,12 @@ class _GuardedSnapshotView:
 
     def __contains__(self, atom: Atom) -> bool:
         return atom in self._check()
+
+    def contains_row(self, predicate: Predicate, row: Row) -> bool:
+        return self._check().contains_row(predicate, row)
+
+    def rows_of(self, predicate: Predicate) -> Sequence[Row]:
+        return self._check().rows_of(predicate)
 
     def __len__(self) -> int:
         return len(self._check())
@@ -445,6 +544,10 @@ class SQLiteBackend:
     path:
         Database location; the default ``":memory:"`` is mainly useful for
         tests — pass a file path for genuinely out-of-core instances.
+    symbols:
+        The interning table the row plane encodes against; defaults to the
+        process-wide table.  Ids are process-local and never written to the
+        database file (the on-disk format stays portable term ``repr``\\ s).
 
     Rows live in a single ``facts`` table keyed by ``(predicate, args)``; the
     encoded form of each term is its ``repr``, decoded back on scan through a
@@ -461,7 +564,7 @@ class SQLiteBackend:
     engine's one-statement-per-call usage needs nothing stronger.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(self, path: str = ":memory:", symbols: Optional[SymbolTable] = None) -> None:
         # Autocommit: every insert is durable without explicit commit calls,
         # so the data survives the connection (and the process).
         # check_same_thread=False + self._lock: sqlite3 connections are
@@ -490,12 +593,17 @@ class SQLiteBackend:
             " seq INTEGER,"
             " PRIMARY KEY (predicate, arity, args))"
         )
+        self._symbols = symbols if symbols is not None else global_symbols()
         self._decode_cache: Dict[str, object] = {}
         self._size = int(
             self._connection.execute("SELECT COUNT(*) FROM facts").fetchone()[0]
         )
         self._seq = self._size
         self._mutations = 0
+
+    @property
+    def symbols(self) -> SymbolTable:
+        return self._symbols
 
     @property
     def mutation_count(self) -> int:
@@ -547,6 +655,19 @@ class SQLiteBackend:
                 self._mutations += 1
                 return True
             return False
+
+    def insert_row(self, predicate: Predicate, row: Row) -> bool:
+        return self.insert(self._symbols.atom(predicate, row))
+
+    def remove_row(self, predicate: Predicate, row: Row) -> bool:
+        return self.remove(self._symbols.atom(predicate, row))
+
+    def contains_row(self, predicate: Predicate, row: Row) -> bool:
+        return self._symbols.atom(predicate, row) in self
+
+    def rows_of(self, predicate: Predicate) -> Sequence[Row]:
+        encode = self._symbols.encode_atom
+        return [encode(atom) for atom in self.atoms_of(predicate)]
 
     def snapshot(self) -> _GuardedSnapshotView:
         return _GuardedSnapshotView(self)

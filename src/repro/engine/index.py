@@ -7,7 +7,7 @@ three directions:
 * **multi-key hash indexes** — for every *access pattern* (a predicate plus a
   set of argument positions that are bound at lookup time) the index lazily
   builds, on first use, a hash table from the bound-position values to the
-  matching atoms, and maintains it incrementally on insertion and removal.  A
+  matching rows, and maintains it incrementally on insertion and removal.  A
   lookup like ``edge(a, X)`` therefore touches only the atoms whose first
   argument is ``a`` instead of every ``edge`` atom;
 * **delta tracking** — insertions are recorded in an append-only log, and
@@ -28,6 +28,17 @@ three directions:
   which is what makes per-query, per-repair and per-chase evaluation
   branches affordable (cf. ``QuerySession``, ``encodings.cqa``,
   ``repro.chase``).
+
+**Interned row plane.**  Internally everything above runs on interned integer
+tuples (see :mod:`repro.engine.intern`): an accepted :class:`Atom` is encoded
+into a :data:`~repro.engine.intern.Row` exactly once, in :meth:`RelationIndex.add`;
+the delta log, the pattern hash tables (buckets keyed by int tuples, holding
+rows) and the backend all trade in rows from then on, and atoms are decoded
+back only at the API edge (``added_since``, ``candidates_for``, iteration)
+through the symbol table's canonical-atom cache.  The join executor bypasses
+the atom edge entirely via the row-plane surface (:meth:`RelationIndex.rows_of`,
+:meth:`RelationIndex.rows_for`, :meth:`RelationIndex.contains_row`,
+:meth:`RelationIndex.rows_added_since`, :meth:`RelationIndex.add_row`).
 
 The underlying tuple store is pluggable (see :mod:`repro.engine.backend`);
 hash indexes and the delta log always live in memory, they are access-path
@@ -58,6 +69,7 @@ from typing import (
 from ..core.atoms import Atom, Predicate
 from ..core.terms import Constant, FunctionTerm, Null, Term, Variable
 from .backend import MemoryBackend, OverlayBackend, StorageBackend
+from .intern import Row, SymbolTable
 from .stats import EngineStatistics
 
 __all__ = [
@@ -74,6 +86,9 @@ __all__ = [
 
 #: A (partial) homomorphism: maps variables and nulls to ground terms.
 Assignment = Dict[Term, Term]
+
+#: One blanked-or-live delta-log entry: ``(predicate, row)`` or ``None``.
+_LogEntry = Optional[Tuple[Predicate, Row]]
 
 
 def is_flexible(term: Term) -> bool:
@@ -183,14 +198,19 @@ class Tick(int):
 
 
 class _PatternTable:
-    """One access pattern's hash table, with a copy-on-write share marker."""
+    """One access pattern's hash table, with a copy-on-write share marker.
+
+    Buckets map the interned ids at the bound positions to the stored rows
+    carrying them — flat int structures end-to-end, so copying a table is
+    copying dicts of small tuples, never term objects.
+    """
 
     __slots__ = ("buckets", "shared")
 
     def __init__(
-        self, buckets: Optional[Dict[Tuple[Term, ...], List[Atom]]] = None
+        self, buckets: Optional[Dict[Row, List[Row]]] = None
     ) -> None:
-        self.buckets: Dict[Tuple[Term, ...], List[Atom]] = (
+        self.buckets: Dict[Row, List[Row]] = (
             buckets if buckets is not None else {}
         )
         self.shared = False
@@ -201,17 +221,25 @@ class _PatternTable:
         )
 
 
-def _bound_key(
-    pattern: Atom, assignment: Mapping[Term, Term]
-) -> Tuple[Tuple[int, ...], Tuple[Term, ...]]:
-    """The (bound positions, key values) of *pattern* under *assignment*."""
+def _encoded_key(
+    pattern: Atom, assignment: Mapping[Term, Term], symbols: SymbolTable
+) -> Tuple[Optional[Tuple[int, ...]], Optional[Row]]:
+    """The (bound positions, interned key ids) of *pattern* under *assignment*.
+
+    ``((), ())`` means no position is bound (scan); ``(None, None)`` means a
+    bound value was never interned — nothing stored can match, no table need
+    be built.
+    """
     positions: List[int] = []
-    key: List[Term] = []
+    key: List[int] = []
     for position, term in enumerate(pattern.terms):
         value = resolve_term(term, assignment)
         if value is not None:
+            value_id = symbols.try_encode_term(value)
+            if value_id is None:
+                return None, None
             positions.append(position)
-            key.append(value)
+            key.append(value_id)
     return tuple(positions), tuple(key)
 
 
@@ -219,9 +247,14 @@ def _build_table(
     backend: StorageBackend, predicate: Predicate, positions: Tuple[int, ...]
 ) -> _PatternTable:
     table = _PatternTable()
-    for atom in backend.atoms_of(predicate):
-        key = tuple(atom.terms[i] for i in positions)
-        table.buckets.setdefault(key, []).append(atom)
+    buckets = table.buckets
+    for row in backend.rows_of(predicate):
+        key = tuple(row[i] for i in positions)
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [row]
+        else:
+            bucket.append(row)
     return table
 
 
@@ -244,7 +277,8 @@ class RelationIndex:
         replayed into the delta log so ``added_since(0)`` stays exhaustive.
     statistics:
         Optional shared counters; the index reports lazily built hash indexes,
-        derived/removed tuples, snapshots, forks, and pattern-table sharing.
+        derived/removed/encoded tuples, snapshots, forks, and pattern-table
+        sharing.
     """
 
     __slots__ = (
@@ -270,7 +304,10 @@ class RelationIndex:
             backend if backend is not None else MemoryBackend(), statistics
         )
         if backend is not None and len(backend):
-            self._log.extend(backend)
+            encode = backend.symbols.encode_atom
+            self._log.extend(
+                (atom.predicate, encode(atom)) for atom in backend
+            )
         for atom in atoms:
             self.add(atom)
 
@@ -278,9 +315,10 @@ class RelationIndex:
         self, backend: StorageBackend, statistics: Optional[EngineStatistics]
     ) -> None:
         self._backend: StorageBackend = backend
-        #: append-only delta log; removals blank entries to ``None`` in
-        #: place so outstanding ticks (positions) stay valid.
-        self._log: List[Optional[Atom]] = []
+        #: append-only delta log of (predicate, row) entries; removals blank
+        #: entries to ``None`` in place so outstanding ticks (positions)
+        #: stay valid.
+        self._log: List[_LogEntry] = []
         self._log_offset: int = 0
         self._log_removals: int = 0
         #: (predicate, bound positions) -> pattern hash table
@@ -292,30 +330,47 @@ class RelationIndex:
         #: bumped on every successful mutation; snapshots pin a version
         self._version: int = 0
 
+    @property
+    def symbols(self) -> SymbolTable:
+        """The interning table this index's rows are encoded against."""
+        return self._backend.symbols
+
     # -------------------------------------------------------------- mutation
     def add(self, atom: Atom) -> bool:
-        """Insert *atom*; return ``True`` iff it was new."""
-        if not self._backend.insert(atom):
+        """Insert *atom*; return ``True`` iff it was new.
+
+        This is the encode boundary: the atom's terms are interned here,
+        once, and everything downstream of it — storage, delta log, pattern
+        tables, joins — handles only the resulting integer row.
+        """
+        row = self._backend.symbols.encode_atom(atom)
+        if self._stats is not None:
+            self._stats.tuples_encoded += 1
+        return self.add_row(atom.predicate, row)
+
+    def add_row(self, predicate: Predicate, row: Row) -> bool:
+        """Insert an already-encoded row; return ``True`` iff it was new."""
+        if not self._backend.insert_row(predicate, row):
             return False
         self._version += 1
-        self._log.append(atom)
+        self._log.append((predicate, row))
         if self._stats is not None:
             self._stats.tuples_derived += 1
-        self._note_added(atom)
+        self._note_added(predicate, row)
         return True
 
-    def _note_added(self, atom: Atom) -> None:
-        position_lists = self._pattern_positions.get(atom.predicate)
+    def _note_added(self, predicate: Predicate, row: Row) -> None:
+        position_lists = self._pattern_positions.get(predicate)
         if not position_lists:
             return
         for positions in position_lists:
-            table = self._writable_table(atom.predicate, positions)
-            key = tuple(atom.terms[i] for i in positions)
+            table = self._writable_table(predicate, positions)
+            key = tuple(row[i] for i in positions)
             bucket = table.buckets.get(key)
             if bucket is None:
-                table.buckets[key] = [atom]
+                table.buckets[key] = [row]
             else:
-                bucket.append(atom)
+                bucket.append(row)
 
     def remove(self, atom: Atom) -> bool:
         """Delete *atom*; return ``True`` iff it was present.
@@ -329,14 +384,21 @@ class RelationIndex:
         nothing still needs the pending delta (``QuerySession`` does, and
         overlay forks start with an empty log).
         """
-        if not self._backend.remove(atom):
+        row = self._backend.symbols.try_encode_atom(atom)
+        if row is None:
+            return False
+        return self.remove_row(atom.predicate, row)
+
+    def remove_row(self, predicate: Predicate, row: Row) -> bool:
+        """Delete an already-encoded row; return ``True`` iff it was present."""
+        if not self._backend.remove_row(predicate, row):
             return False
         self._version += 1
         if self._stats is not None:
             self._stats.tuples_removed += 1
-        self._note_removed(atom)
+        self._note_removed(predicate, row)
         try:
-            position = self._log.index(atom)
+            position = self._log.index((predicate, row))
         except ValueError:
             pass  # already compacted away (or never logged on this branch)
         else:
@@ -345,13 +407,13 @@ class RelationIndex:
             self._log_removals += 1
         return True
 
-    def _note_removed(self, atom: Atom) -> None:
-        for positions in self._pattern_positions.get(atom.predicate, ()):
-            table = self._writable_table(atom.predicate, positions)
-            key = tuple(atom.terms[i] for i in positions)
+    def _note_removed(self, predicate: Predicate, row: Row) -> None:
+        for positions in self._pattern_positions.get(predicate, ()):
+            table = self._writable_table(predicate, positions)
+            key = tuple(row[i] for i in positions)
             bucket = table.buckets.get(key)
-            if bucket is not None and atom in bucket:
-                bucket.remove(atom)
+            if bucket is not None and row in bucket:
+                bucket.remove(row)
                 if not bucket:
                     del table.buckets[key]
 
@@ -471,13 +533,7 @@ class RelationIndex:
                 "not transfer across snapshot/fork boundaries"
             )
 
-    def added_since(self, tick: int) -> Sequence[Atom]:
-        """The atoms added after *tick*, in insertion order.
-
-        *tick* must come from this branch (see :meth:`tick`) and must not
-        predate a :meth:`compact` call — compacted history is gone and
-        requesting it raises ``ValueError``.
-        """
+    def _entries_since(self, tick: int) -> Sequence[Tuple[Predicate, Row]]:
         self._check_branch(tick, "added_since")
         if tick < self._log_offset:
             raise ValueError(
@@ -486,8 +542,25 @@ class RelationIndex:
             )
         segment = self._log[tick - self._log_offset:]
         if self._log_removals:
-            return [atom for atom in segment if atom is not None]
-        return segment
+            return [entry for entry in segment if entry is not None]
+        return segment  # type: ignore[return-value]
+
+    def added_since(self, tick: int) -> Sequence[Atom]:
+        """The atoms added after *tick*, in insertion order.
+
+        *tick* must come from this branch (see :meth:`tick`) and must not
+        predate a :meth:`compact` call — compacted history is gone and
+        requesting it raises ``ValueError``.
+        """
+        decode = self._backend.symbols.atom
+        return [
+            decode(predicate, row)
+            for predicate, row in self._entries_since(tick)
+        ]
+
+    def rows_added_since(self, tick: int) -> Sequence[Tuple[Predicate, Row]]:
+        """The ``(predicate, row)`` entries added after *tick* (row plane)."""
+        return self._entries_since(tick)
 
     def compact(self, tick: int) -> None:
         """Forget the delta log before *tick* (a tick of this branch).
@@ -496,7 +569,7 @@ class RelationIndex:
         consumed, so the log never holds more than one round of atoms — the
         piece that matters when the backend is out-of-core and the index
         should not pin every atom in memory.  (Lazily built hash indexes
-        still reference atoms; drop the index, or avoid bound-position
+        still reference rows; drop the index, or avoid bound-position
         lookups, for truly memory-light scans.)
         """
         self._check_branch(tick, "compact")
@@ -505,7 +578,7 @@ class RelationIndex:
         drop = min(tick, self._log_offset + len(self._log)) - self._log_offset
         if self._log_removals:
             self._log_removals -= sum(
-                1 for atom in self._log[:drop] if atom is None
+                1 for entry in self._log[:drop] if entry is None
             )
         del self._log[:drop]
         self._log_offset += drop
@@ -519,6 +592,14 @@ class RelationIndex:
         """Cardinality of the relation (the planner's size estimate)."""
         return self._backend.count(predicate)
 
+    def rows_of(self, predicate: Predicate) -> Sequence[Row]:
+        """All stored rows over *predicate* (row-plane scan)."""
+        return self._backend.rows_of(predicate)
+
+    def contains_row(self, predicate: Predicate, row: Row) -> bool:
+        """Row-plane membership (used by negation checks in the executor)."""
+        return self._backend.contains_row(predicate, row)
+
     def candidates_for(
         self, pattern: Atom, assignment: Optional[Mapping[Term, Term]] = None
     ) -> Sequence[Atom]:
@@ -530,32 +611,43 @@ class RelationIndex:
         position this degrades to the per-predicate scan.  The returned atoms
         are a superset filter — callers still run :func:`match_atom` — but for
         hash-indexed positions the filtering is exact.
+
+        A bound value the symbol table has never interned short-circuits to
+        the empty result: nothing stored can match a term no stored atom has
+        ever contained.
         """
-        # Hot path (inner loop of every join): inlined bound-key computation
-        # and table fetch; subclasses with layered lookups override this.
-        bound = assignment or {}
-        positions: List[int] = []
-        key: List[Term] = []
-        for position, term in enumerate(pattern.terms):
-            value = resolve_term(term, bound)
-            if value is not None:
-                positions.append(position)
-                key.append(value)
+        symbols = self._backend.symbols
+        positions, key = _encoded_key(pattern, assignment or {}, symbols)
+        if positions is None:
+            return ()
         if not positions:
             return self._backend.atoms_of(pattern.predicate)
+        rows = self._lookup(pattern.predicate, positions, key)
+        if not rows:
+            return ()
+        decode = symbols.atom
         predicate = pattern.predicate
-        table = self._patterns.get((predicate, tuple(positions)))
-        if table is None:
-            table = self._ensure_pattern(predicate, tuple(positions))
-        return table.buckets.get(tuple(key), ())
+        return [decode(predicate, row) for row in rows]
+
+    def rows_for(
+        self, predicate: Predicate, positions: Tuple[int, ...], key: Row
+    ) -> Sequence[Row]:
+        """The stored rows whose *positions* carry the ids in *key*.
+
+        The executor-facing lookup: no atoms, no decode — the bucket of the
+        (lazily built, incrementally maintained) pattern hash table.
+        """
+        return self._lookup(predicate, positions, key)
 
     def _lookup(
         self,
         predicate: Predicate,
         positions: Tuple[int, ...],
-        key: Tuple[Term, ...],
-    ) -> Sequence[Atom]:
-        table = self._ensure_pattern(predicate, positions)
+        key: Row,
+    ) -> Sequence[Row]:
+        table = self._patterns.get((predicate, positions))
+        if table is None:
+            table = self._ensure_pattern(predicate, positions)
         return table.buckets.get(key, ())
 
     def _ensure_pattern(
@@ -643,6 +735,10 @@ class RelationSnapshot:
     def version(self) -> int:
         return self._version
 
+    @property
+    def symbols(self) -> SymbolTable:
+        return self._backend.symbols
+
     def detach(self) -> "RelationSnapshot":
         """Cut the link to the source head; returns ``self``.
 
@@ -691,20 +787,39 @@ class RelationSnapshot:
     def count(self, predicate: Predicate) -> int:
         return self._backend.count(predicate)
 
+    def rows_of(self, predicate: Predicate) -> Sequence[Row]:
+        return self._backend.rows_of(predicate)
+
+    def contains_row(self, predicate: Predicate, row: Row) -> bool:
+        return self._backend.contains_row(predicate, row)
+
     def candidates_for(
         self, pattern: Atom, assignment: Optional[Mapping[Term, Term]] = None
     ) -> Sequence[Atom]:
-        positions, key = _bound_key(pattern, assignment or {})
+        symbols = self._backend.symbols
+        positions, key = _encoded_key(pattern, assignment or {}, symbols)
+        if positions is None:
+            return ()
         if not positions:
             return self.candidates(pattern.predicate)
-        return self._lookup(pattern.predicate, positions, key)
+        rows = self._lookup(pattern.predicate, positions, key)
+        if not rows:
+            return ()
+        decode = symbols.atom
+        predicate = pattern.predicate
+        return [decode(predicate, row) for row in rows]
+
+    def rows_for(
+        self, predicate: Predicate, positions: Tuple[int, ...], key: Row
+    ) -> Sequence[Row]:
+        return self._lookup(predicate, positions, key)
 
     def _lookup(
         self,
         predicate: Predicate,
         positions: Tuple[int, ...],
-        key: Tuple[Term, ...],
-    ) -> Sequence[Atom]:
+        key: Row,
+    ) -> Sequence[Row]:
         table = self._ensure_pattern(predicate, positions)
         return table.buckets.get(key, ())
 
@@ -749,7 +864,7 @@ class OverlayRelationIndex(RelationIndex):
     Reads layer three sources: the base snapshot's shared pattern tables
     (never copied, never rebuilt), a private overlay index over the branch's
     own additions (proportional to the branch's writes), and a tombstone
-    filter for base atoms the branch removed.  Writes touch only the overlay,
+    filter for base rows the branch removed.  Writes touch only the overlay,
     so any number of branches can run against one base concurrently.
 
     Tombstone semantics (enforced in :class:`~repro.engine.backend.OverlayBackend`):
@@ -783,38 +898,30 @@ class OverlayRelationIndex(RelationIndex):
         return self._base
 
     # -------------------------------------------------------------- mutation
-    def _note_added(self, atom: Atom) -> None:
+    def _note_added(self, predicate: Predicate, row: Row) -> None:
         # A resurrected tombstone is visible through the *base* tables again;
         # only genuinely local additions belong in the overlay tables.
         backend: OverlayBackend = self._backend  # type: ignore[assignment]
-        if atom in backend.local:
-            super()._note_added(atom)
+        if backend.local.contains_row(predicate, row):
+            super()._note_added(predicate, row)
 
-    def _note_removed(self, atom: Atom) -> None:
-        # Tombstoned base atoms are filtered at read time; the overlay tables
-        # only ever held local atoms, and the inherited upkeep is a no-op for
-        # anything else (the atom is simply absent from the local buckets).
-        super()._note_removed(atom)
+    def _note_removed(self, predicate: Predicate, row: Row) -> None:
+        # Tombstoned base rows are filtered at read time; the overlay tables
+        # only ever held local rows, and the inherited upkeep is a no-op for
+        # anything else (the row is simply absent from the local buckets).
+        super()._note_removed(predicate, row)
 
     # ----------------------------------------------------------- access paths
     def candidates(self, predicate: Predicate) -> Sequence[Atom]:
         # The overlay backend already merges base + local − tombstones.
         return self._backend.atoms_of(predicate)
 
-    def candidates_for(
-        self, pattern: Atom, assignment: Optional[Mapping[Term, Term]] = None
-    ) -> Sequence[Atom]:
-        positions, key = _bound_key(pattern, assignment or {})
-        if not positions:
-            return self._backend.atoms_of(pattern.predicate)
-        return self._lookup(pattern.predicate, positions, key)
-
     def _lookup(
         self,
         predicate: Predicate,
         positions: Tuple[int, ...],
-        key: Tuple[Term, ...],
-    ) -> Sequence[Atom]:
+        key: Row,
+    ) -> Sequence[Row]:
         backend: OverlayBackend = self._backend  # type: ignore[assignment]
         # Predicates absent from the base (e.g. generated magic relations)
         # are served purely by the overlay tables; consulting the base would
@@ -824,8 +931,9 @@ class OverlayRelationIndex(RelationIndex):
         else:
             base_bucket = ()
         if base_bucket and backend.has_tombstones(predicate):
+            tombstoned = backend.is_tombstoned_row
             base_bucket = [
-                atom for atom in base_bucket if not backend.is_tombstoned(atom)
+                row for row in base_bucket if not tombstoned(predicate, row)
             ]
         if backend.local.count(predicate):
             local_bucket = self._ensure_pattern(predicate, positions).buckets.get(
@@ -842,9 +950,9 @@ class OverlayRelationIndex(RelationIndex):
     def _ensure_pattern(
         self, predicate: Predicate, positions: Tuple[int, ...]
     ) -> _PatternTable:
-        """A pattern table over the overlay-*local* atoms only.
+        """A pattern table over the overlay-*local* rows only.
 
-        Base atoms are served by the base snapshot's shared tables; the local
+        Base rows are served by the base snapshot's shared tables; the local
         table is proportional to this branch's own writes, so building it is
         never O(|base|).
         """

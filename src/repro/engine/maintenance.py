@@ -60,7 +60,14 @@ from ..core.atoms import Atom, Predicate, apply_substitution
 from ..errors import SolverLimitError
 from ..obs.trace import get_tracer
 from .index import RelationIndex
-from .planner import CompiledRule, compile_rule, enumerate_matches
+from .planner import (
+    CompiledRule,
+    EncodedRule,
+    compile_rule,
+    encode_rule,
+    enumerate_bindings,
+    enumerate_matches,
+)
 from .stats import EngineStatistics
 
 __all__ = ["SupportTable", "MaterializedView", "ViewDelta"]
@@ -132,6 +139,28 @@ class SupportTable:
         """The ``on_fire`` hook: register a firing, ignoring duplicates."""
         self.record_firing(rule, assignment)
 
+    def record_binding(
+        self, rule: CompiledRule, encoded: Optional[EncodedRule], payload
+    ) -> None:
+        """The ``on_fire_bindings`` hook: register a row-plane firing."""
+        self.record_firing_binding(rule, encoded, payload)
+
+    def _insert(
+        self,
+        key: SupportKey,
+        head: Atom,
+        body: Tuple[Atom, ...],
+        negative: Tuple[Atom, ...],
+    ) -> None:
+        self.derivations[key] = negative
+        self.supports.setdefault(head, set()).add(key)
+        for atom in set(body):
+            self.uses.setdefault(atom, set()).add(key)
+        for atom in set(negative):
+            self.blockers.setdefault(atom, set()).add(key)
+        if self._stats is not None:
+            self._stats.supports_recorded += 1
+
     def record_firing(
         self, rule: CompiledRule, assignment: dict
     ) -> List[Tuple[SupportKey, Atom]]:
@@ -153,14 +182,35 @@ class SupportTable:
                 negative = tuple(
                     apply_substitution(atom, assignment) for atom in rule.negative
                 )
-            self.derivations[key] = negative
-            self.supports.setdefault(head, set()).add(key)
-            for atom in set(body):
-                self.uses.setdefault(atom, set()).add(key)
-            for atom in set(negative):
-                self.blockers.setdefault(atom, set()).add(key)
-            if self._stats is not None:
-                self._stats.supports_recorded += 1
+            self._insert(key, head, body, negative)
+            fresh.append((key, head))
+        return fresh
+
+    def record_firing_binding(
+        self, rule: CompiledRule, encoded: Optional[EncodedRule], payload
+    ) -> List[Tuple[SupportKey, Atom]]:
+        """Row-plane :meth:`record_firing`: *payload* is a slot binding.
+
+        The ground body/head/negative atoms are reconstructed through the
+        symbol table's canonical decode cache (two dict probes per atom after
+        warm-up), so support bookkeeping for interned-executor firings never
+        runs ``apply_substitution`` over term objects.  With ``encoded is
+        None`` the payload is an assignment dict and this delegates to the
+        object-plane path.
+        """
+        if encoded is None:
+            return self.record_firing(rule, payload)
+        body = encoded.build_positive_atoms(payload)
+        rid = self._rule_id(rule)
+        fresh: List[Tuple[SupportKey, Atom]] = []
+        negative: Optional[Tuple[Atom, ...]] = None
+        for head in encoded.build_head_atoms(payload):
+            key: SupportKey = (rid, head, body)
+            if key in self.derivations:
+                continue
+            if negative is None:
+                negative = encoded.build_negative_atoms(payload)
+            self._insert(key, head, body, negative)
             fresh.append((key, head))
         return fresh
 
@@ -324,7 +374,7 @@ class MaterializedView:
             stratification=self._strat,
             statistics=statistics,
             max_atoms=max_atoms,
-            on_fire=self._support.record,
+            on_fire_bindings=self._support.record_binding,
         )
         # Net-change bookkeeping of the apply_delta call in flight.
         self._call_added: Set[Atom] = set()
@@ -713,7 +763,7 @@ class MaterializedView:
                 # it must still drive the delta joins below, or the
                 # derivations dropped by the delete phase stay lost.
                 readded.append(atom)
-        pending: List[Tuple[CompiledRule, dict]] = []
+        pending: List[Tuple[CompiledRule, Optional[EncodedRule], object]] = []
         # Deletions below a negation re-open derivations the negation had
         # suppressed; those rules are re-evaluated in full against the
         # repaired state (their join is part of the affected cone).
@@ -723,12 +773,7 @@ class MaterializedView:
             for site_stratum, compiled in self._negative_sites.get(predicate, ()):
                 if site_stratum == stratum and id(compiled) not in rescanned:
                     rescanned.add(id(compiled))
-                    pending.extend(
-                        (compiled, assignment)
-                        for assignment in enumerate_matches(
-                            compiled, self._index, statistics=self._stats
-                        )
-                    )
+                    pending.extend(self._matches(compiled))
         # Delta joins: every net-added atom (lower strata and this stratum's
         # base additions) plus the re-added overlap atoms drive the body
         # positions that mention them.
@@ -748,10 +793,50 @@ class MaterializedView:
                 grouped.setdefault(atom.predicate, []).append(atom)
             pending = self._delta_join(stratum, grouped)
 
+    def _matches(
+        self,
+        compiled: CompiledRule,
+        *,
+        delta: Optional[List[Atom]] = None,
+        delta_position: Optional[int] = None,
+    ):
+        """Enumerate one rule's firings, preferring the interned executor.
+
+        Yields ``(compiled, encoded, slot-binding tuple)`` when the rule is
+        encodable (the support table records these through
+        :meth:`SupportTable.record_firing_binding` without ever decoding an
+        assignment) and ``(compiled, None, assignment)`` on the object-path
+        fallback.
+        """
+        symbols = self._index.symbols
+        encoded = encode_rule(compiled, symbols)
+        if encoded.encodable:
+            delta_rows = None
+            if delta_position is not None:
+                encode = symbols.encode_atom
+                delta_rows = [(atom.predicate, encode(atom)) for atom in delta]
+            for binding in enumerate_bindings(
+                encoded,
+                self._index,
+                delta_rows=delta_rows,
+                delta_position=delta_position,
+                statistics=self._stats,
+            ):
+                yield (compiled, encoded, tuple(binding))
+        else:
+            for assignment in enumerate_matches(
+                compiled,
+                self._index,
+                delta=delta,
+                delta_position=delta_position,
+                statistics=self._stats,
+            ):
+                yield (compiled, None, assignment)
+
     def _delta_join(
         self, stratum: int, grouped: Dict[Predicate, List[Atom]]
-    ) -> List[Tuple[CompiledRule, dict]]:
-        pending: List[Tuple[CompiledRule, dict]] = []
+    ) -> List[Tuple[CompiledRule, Optional[EncodedRule], object]]:
+        pending: List[Tuple[CompiledRule, Optional[EncodedRule], object]] = []
         for predicate, atoms in grouped.items():
             for site_stratum, compiled, position in self._positive_sites.get(
                 predicate, ()
@@ -759,23 +844,18 @@ class MaterializedView:
                 if site_stratum != stratum:
                     continue
                 pending.extend(
-                    (compiled, assignment)
-                    for assignment in enumerate_matches(
-                        compiled,
-                        self._index,
-                        delta=atoms,
-                        delta_position=position,
-                        statistics=self._stats,
-                    )
+                    self._matches(compiled, delta=atoms, delta_position=position)
                 )
         return pending
 
     def _process_firings(
-        self, pending: List[Tuple[CompiledRule, dict]]
+        self, pending: List[Tuple[CompiledRule, Optional[EncodedRule], object]]
     ) -> List[Atom]:
         fresh: List[Atom] = []
-        for compiled, assignment in pending:
-            for _, head in self._support.record_firing(compiled, assignment):
+        for compiled, encoded, payload in pending:
+            for _, head in self._support.record_firing_binding(
+                compiled, encoded, payload
+            ):
                 if self._add_atom(head):
                     fresh.append(head)
         return fresh

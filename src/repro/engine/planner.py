@@ -41,15 +41,24 @@ rewritten programs probe exactly the hash indexes the planner would pick.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.atoms import Atom, Literal, apply_substitution
-from ..core.terms import Term
+from ..core.terms import FunctionTerm, Null, Term
 from ..obs.trace import get_tracer
 from .index import Assignment, RelationIndex, is_flexible, match_atom, resolve_term
+from .intern import Row, SymbolTable
 from .stats import EngineStatistics
 
-__all__ = ["CompiledRule", "compile_rule", "order_body", "enumerate_matches"]
+__all__ = [
+    "CompiledRule",
+    "EncodedRule",
+    "compile_rule",
+    "encode_rule",
+    "order_body",
+    "enumerate_matches",
+    "enumerate_bindings",
+]
 
 
 def _flexible_terms(atom: Atom) -> frozenset[Term]:
@@ -224,6 +233,412 @@ def order_body(
     return tuple(plan)
 
 
+# --------------------------------------------------------------------------
+# The interned (row-plane) executor.
+#
+# An :class:`EncodedRule` lowers a :class:`CompiledRule` onto one symbol
+# table's id space.  Term coding inside a positive body literal:
+#
+#   entry >= 0      the interned id of a fixed ground term (constants and
+#                   variable-free function terms, interned at encode time);
+#   entry <  0      flexible slot ``-(entry + 1)`` — a variable or a
+#                   pattern null, bound during the join.
+#
+# Head and negative-literal terms use *specs*, which additionally know how
+# to rebuild values the join never bound:
+#
+#   int >= 0            fixed id
+#   int <  0            variable slot; unbound -> the head is not ground /
+#                       the negative check is unsafe
+#   (slot, null_id)     a pattern null: its binding if bound, else itself
+#                       (nulls are ground data — an unbound head/negative
+#                       null stands for itself, exactly as
+#                       ``apply_substitution`` leaves it in place)
+#   (name, (spec, ..))  a function term containing flexibles, rebuilt
+#                       bottom-up through ``SymbolTable.encode_function``
+#                       (the Skolem-head fast path: no term objects after
+#                       the first occurrence)
+#
+# A rule whose *positive body* contains a function term with flexibles
+# inside is not encodable (matching it requires structural decomposition of
+# stored terms); ``enumerate_matches`` transparently falls back to the
+# object-plane backtracker for those, so the encoded path is a pure
+# optimisation, never a semantics change.
+
+_Spec = Union[int, Tuple[int, int], Tuple[str, tuple]]
+
+
+def _resolve_spec(
+    spec: _Spec, binding: Sequence[Optional[int]], symbols: SymbolTable
+) -> Optional[int]:
+    """The id *spec* denotes under *binding*, or ``None`` if not ground."""
+    if type(spec) is int:
+        if spec >= 0:
+            return spec
+        return binding[-spec - 1]
+    first = spec[0]
+    if type(first) is int:  # (slot, null_id): a pattern null falls back to itself
+        value = binding[first]
+        return value if value is not None else spec[1]
+    argument_ids: List[int] = []
+    for sub in spec[1]:
+        value = _resolve_spec(sub, binding, symbols)
+        if value is None:
+            return None
+        argument_ids.append(value)
+    return symbols.encode_function(first, tuple(argument_ids))
+
+
+class EncodedRule:
+    """A :class:`CompiledRule` lowered onto one symbol table's id space.
+
+    Flexible terms (variables and pattern nulls) across the positive body,
+    the negative body and the heads are numbered into dense **slots** in
+    first-occurrence order; a join binding is then a flat
+    ``list[Optional[int]]`` indexed by slot — no term-keyed dict is
+    allocated anywhere between the storage boundary and the API edge.
+    """
+
+    __slots__ = (
+        "compiled",
+        "symbols",
+        "slots",
+        "slot_of",
+        "positive",
+        "negatives",
+        "head_specs",
+        "encodable",
+        "_plans",
+    )
+
+    def __init__(self, compiled: CompiledRule, symbols: SymbolTable) -> None:
+        self.compiled = compiled
+        self.symbols = symbols
+        self.slot_of: Dict[Term, int] = {}
+        slots: List[Term] = []
+
+        def slot_code(term: Term) -> int:
+            slot = self.slot_of.get(term)
+            if slot is None:
+                slot = len(slots)
+                self.slot_of[term] = slot
+                slots.append(term)
+            return -slot - 1
+
+        def spec_of(term: Term) -> _Spec:
+            if is_flexible(term):
+                code = slot_code(term)
+                if type(term) is Null:
+                    return (-code - 1, symbols.encode_term(term))
+                return code
+            if isinstance(term, FunctionTerm) and _flexible_terms_of_term(term):
+                return (
+                    term.function,
+                    tuple(spec_of(argument) for argument in term.arguments),
+                )
+            return symbols.encode_term(term)
+
+        encodable = True
+        positive: List[Tuple[Atom, tuple]] = []
+        for atom in compiled.positive:
+            entries: List[int] = []
+            for term in atom.terms:
+                if is_flexible(term):
+                    entries.append(slot_code(term))
+                elif _flexible_terms_of_term(term):
+                    encodable = False
+                    break
+                else:
+                    entries.append(symbols.encode_term(term))
+            else:
+                positive.append((atom.predicate, tuple(entries)))
+                continue
+            break
+        self.encodable = encodable and bool(compiled.positive)
+        self.positive = tuple(positive) if self.encodable else ()
+        if self.encodable:
+            self.negatives = tuple(
+                (atom, atom.predicate, tuple(spec_of(term) for term in atom.terms))
+                for atom in compiled.negative
+            )
+            self.head_specs = tuple(
+                (atom.predicate, tuple(spec_of(term) for term in atom.terms))
+                for atom in compiled.heads
+            )
+        else:
+            self.negatives = ()
+            self.head_specs = ()
+        self.slots = tuple(slots)
+        #: (plan, initially-bound slots) -> compiled step list
+        self._plans: Dict[tuple, tuple] = {}
+
+    def new_binding(self) -> List[Optional[int]]:
+        return [None] * len(self.slots)
+
+    def build_head_rows(
+        self, binding: Sequence[Optional[int]]
+    ) -> List[Tuple[Predicate, Row]]:
+        """The ground head rows this binding derives (non-ground heads skipped)."""
+        symbols = self.symbols
+        out: List[Tuple[Predicate, Row]] = []
+        for predicate, specs in self.head_specs:
+            row: List[int] = []
+            for spec in specs:
+                value = _resolve_spec(spec, binding, symbols)
+                if value is None:
+                    break
+                row.append(value)
+            else:
+                out.append((predicate, tuple(row)))
+        return out
+
+    def build_positive_atoms(self, binding: Sequence[Optional[int]]) -> Tuple[Atom, ...]:
+        """The ground positive body under *binding* (canonical cached atoms).
+
+        Valid only for complete bindings (every slot of the positive body
+        bound) — i.e. what a finished join enumeration yields.
+        """
+        symbols = self.symbols
+        decode = symbols.atom
+        return tuple(
+            decode(
+                predicate,
+                tuple(
+                    entry if entry >= 0 else binding[-entry - 1]
+                    for entry in entries
+                ),
+            )
+            for predicate, entries in self.positive
+        )
+
+    def build_negative_atoms(self, binding: Sequence[Optional[int]]) -> Tuple[Atom, ...]:
+        """The ground negative body under *binding* (canonical cached atoms)."""
+        symbols = self.symbols
+        decode = symbols.atom
+        return tuple(
+            decode(
+                predicate,
+                tuple(_resolve_spec(spec, binding, symbols) for spec in specs),
+            )
+            for _, predicate, specs in self.negatives
+        )
+
+    def build_head_atoms(self, binding: Sequence[Optional[int]]) -> List[Atom]:
+        """The ground heads under *binding*, decoded (non-ground skipped)."""
+        decode = self.symbols.atom
+        return [
+            decode(predicate, row) for predicate, row in self.build_head_rows(binding)
+        ]
+
+    def decode_binding(
+        self,
+        binding: Sequence[Optional[int]],
+        partial: Optional[Mapping[Term, Term]] = None,
+    ) -> Assignment:
+        """The object-plane :data:`Assignment` equivalent of *binding*."""
+        result: Assignment = dict(partial) if partial else {}
+        decode = self.symbols.decode_term
+        for slot, term in enumerate(self.slots):
+            value = binding[slot]
+            if value is not None:
+                result[term] = decode(value)
+        return result
+
+    def steps_for(
+        self, plan: Tuple[int, ...], bound_slots: frozenset
+    ) -> tuple:
+        """The per-literal probe programme for *plan* given pre-bound slots.
+
+        Each step is ``(predicate, bound positions, key builders, static
+        key, unbound (position, slot) pairs)``; builders reuse the literal
+        entry coding (id or negative slot code).
+        """
+        cache_key = (plan, bound_slots)
+        steps = self._plans.get(cache_key)
+        if steps is not None:
+            return steps
+        bound = set(bound_slots)
+        built: List[tuple] = []
+        for literal_index in plan:
+            predicate, entries = self.positive[literal_index]
+            positions: List[int] = []
+            builders: List[int] = []
+            unbound: List[Tuple[int, int]] = []
+            static = True
+            new_slots: List[int] = []
+            for position, entry in enumerate(entries):
+                if entry >= 0:
+                    positions.append(position)
+                    builders.append(entry)
+                else:
+                    slot = -entry - 1
+                    if slot in bound:
+                        positions.append(position)
+                        builders.append(entry)
+                        static = False
+                    else:
+                        # Repeats of a slot first seen in this literal also
+                        # land here: the first occurrence binds, the rest
+                        # compare (bind-or-compare below).
+                        unbound.append((position, slot))
+                        new_slots.append(slot)
+            bound.update(new_slots)
+            static_key = tuple(builders) if (static and positions) else None
+            built.append(
+                (predicate, tuple(positions), tuple(builders), static_key, tuple(unbound))
+            )
+        steps = tuple(built)
+        self._plans[cache_key] = steps
+        return steps
+
+
+_ENCODE_CACHE: Dict[Tuple[int, int], EncodedRule] = {}
+
+
+def encode_rule(compiled: CompiledRule, symbols: SymbolTable) -> EncodedRule:
+    """Lower *compiled* onto *symbols*, memoised per (rule, table) pair."""
+    key = (id(compiled), id(symbols))
+    cached = _ENCODE_CACHE.get(key)
+    if cached is not None and cached.compiled is compiled and cached.symbols is symbols:
+        return cached
+    encoded = EncodedRule(compiled, symbols)
+    if len(_ENCODE_CACHE) >= _COMPILE_CACHE_LIMIT:
+        _ENCODE_CACHE.clear()
+    _ENCODE_CACHE[key] = encoded
+    return encoded
+
+
+def enumerate_bindings(
+    encoded: EncodedRule,
+    index: RelationIndex,
+    *,
+    binding: Optional[List[Optional[int]]] = None,
+    negative_against=None,
+    delta_rows: Optional[Sequence[Tuple["Predicate", Row]]] = None,
+    delta_position: Optional[int] = None,
+    statistics: Optional[EngineStatistics] = None,
+) -> Iterator[List[Optional[int]]]:
+    """Enumerate slot bindings matching the encoded body into *index*.
+
+    The row-plane twin of :func:`enumerate_matches`: the same greedy plan
+    (:func:`order_body`), the same pattern hash tables
+    (``RelationIndex.rows_for``), but every probe key, every candidate and
+    every binding is a flat int structure.  **Yields the live binding
+    list** — callers that retain bindings across iterations must copy
+    (``tuple(b)``).
+    """
+    compiled = encoded.compiled
+    symbols = encoded.symbols
+    check = negative_against if negative_against is not None else index
+    if binding is None:
+        binding = encoded.new_binding()
+    bound_slots = frozenset(
+        slot for slot, value in enumerate(binding) if value is not None
+    )
+    bound_terms = frozenset(encoded.slots[slot] for slot in bound_slots)
+    negatives = encoded.negatives
+    rows_for = index.rows_for
+    rows_of = index.rows_of
+
+    def verify_negatives() -> bool:
+        for atom, predicate, specs in negatives:
+            row: List[int] = []
+            for spec in specs:
+                value = _resolve_spec(spec, binding, symbols)
+                if value is None:
+                    raise ValueError(
+                        f"negative atom {atom} not fully bound (unsafe pattern)"
+                    )
+                row.append(value)
+            if check.contains_row(predicate, tuple(row)):
+                return False
+        return True
+
+    def run(steps: tuple, depth: int) -> Iterator[List[Optional[int]]]:
+        if depth == len(steps):
+            if verify_negatives():
+                yield binding
+            return
+        predicate, positions, builders, static_key, unbound = steps[depth]
+        if positions:
+            key = static_key
+            if key is None:
+                key = tuple(
+                    entry if entry >= 0 else binding[-entry - 1]
+                    for entry in builders
+                )
+            rows = rows_for(predicate, positions, key)
+        else:
+            rows = rows_of(predicate)
+        if statistics is not None:
+            statistics.tuples_scanned += len(rows)
+        for row in rows:
+            marks: Optional[List[int]] = None
+            matched = True
+            for position, slot in unbound:
+                value = row[position]
+                current = binding[slot]
+                if current is None:
+                    binding[slot] = value
+                    if marks is None:
+                        marks = [slot]
+                    else:
+                        marks.append(slot)
+                elif current != value:
+                    matched = False
+                    break
+            if matched:
+                yield from run(steps, depth + 1)
+            if marks is not None:
+                for slot in marks:
+                    binding[slot] = None
+
+    if delta_position is None:
+        plan = order_body(compiled, index=index, bound=bound_terms)
+        yield from run(encoded.steps_for(plan, bound_slots), 0)
+        return
+
+    predicate, entries = encoded.positive[delta_position]
+    plan = order_body(
+        compiled,
+        index=index,
+        bound=bound_terms | compiled.positive_terms[delta_position],
+        skip=delta_position,
+    )
+    steps = encoded.steps_for(
+        plan,
+        bound_slots
+        | frozenset(-entry - 1 for entry in entries if entry < 0),
+    )
+    rows = delta_rows if delta_rows is not None else ()
+    if statistics is not None:
+        statistics.tuples_scanned += len(rows)
+    for delta_predicate, row in rows:
+        if delta_predicate != predicate:
+            continue
+        marks: List[int] = []
+        matched = True
+        for position, entry in enumerate(entries):
+            value = row[position]
+            if entry >= 0:
+                if entry != value:
+                    matched = False
+                    break
+            else:
+                slot = -entry - 1
+                current = binding[slot]
+                if current is None:
+                    binding[slot] = value
+                    marks.append(slot)
+                elif current != value:
+                    matched = False
+                    break
+        if matched:
+            yield from run(steps, 0)
+        for slot in marks:
+            binding[slot] = None
+
+
 def enumerate_matches(
     compiled: CompiledRule,
     index: RelationIndex,
@@ -244,7 +659,45 @@ def enumerate_matches(
     absence against ``negative_against`` (default: *index*) once the positive
     part is fully bound; a non-ground negative image raises ``ValueError``
     (unsafe pattern), mirroring the classic matcher.
+
+    Encodable rules (everything except positive bodies with non-ground
+    function terms) run on the interned row plane (see :class:`EncodedRule`)
+    and decode each solution back to an object-level assignment only at
+    yield; the object-plane backtracker below remains as the fallback.
     """
+    symbols = getattr(index, "symbols", None)
+    if symbols is not None and (
+        negative_against is None
+        or getattr(negative_against, "symbols", None) is symbols
+    ):
+        encoded = encode_rule(compiled, symbols)
+        if encoded.encodable:
+            binding = encoded.new_binding()
+            if partial:
+                slot_of = encoded.slot_of
+                for term, value in partial.items():
+                    slot = slot_of.get(term)
+                    if slot is not None:
+                        binding[slot] = symbols.encode_term(value)
+            delta_rows = None
+            if delta_position is not None:
+                encode = symbols.encode_atom
+                delta_rows = [
+                    (atom.predicate, encode(atom)) for atom in (delta or ())
+                ]
+            decode_binding = encoded.decode_binding
+            for live in enumerate_bindings(
+                encoded,
+                index,
+                binding=binding,
+                negative_against=negative_against,
+                delta_rows=delta_rows,
+                delta_position=delta_position,
+                statistics=statistics,
+            ):
+                yield decode_binding(live, partial)
+            return
+
     base: Assignment = dict(partial) if partial else {}
     check = negative_against if negative_against is not None else index
     negatives = compiled.negative

@@ -38,7 +38,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.atoms import Atom, apply_substitution
 from ..errors import SolverLimitError
 from .index import RelationIndex
-from .planner import CompiledRule, compile_rule, enumerate_matches
+from .planner import (
+    CompiledRule,
+    EncodedRule,
+    compile_rule,
+    encode_rule,
+    enumerate_bindings,
+    enumerate_matches,
+)
 from .stats import EngineStatistics
 
 __all__ = ["fixpoint", "GroundProgramEvaluator"]
@@ -54,6 +61,14 @@ DeriveCallback = Callable[[Atom, object, dict], None]
 #: deletion needs to know about *alternative* derivations too.
 FireCallback = Callable[["CompiledRule", dict], None]
 
+#: row-plane twin of :data:`FireCallback`: invoked as ``(compiled, encoded,
+#: payload)`` where *payload* is an interned slot-binding tuple when *encoded*
+#: is an :class:`EncodedRule`, and a plain assignment dict when *encoded* is
+#: ``None`` (the rule ran on the object-path fallback).  Supplying this
+#: instead of ``on_fire`` keeps per-firing bookkeeping in the integer domain
+#: — no assignment dict is ever decoded for firings that merely re-derive.
+FireBindingCallback = Callable[["CompiledRule", Optional["EncodedRule"], object], None]
+
 
 def fixpoint(
     rules: Iterable,
@@ -62,6 +77,7 @@ def fixpoint(
     index: Optional[RelationIndex] = None,
     on_derive: Optional[DeriveCallback] = None,
     on_fire: Optional[FireCallback] = None,
+    on_fire_bindings: Optional[FireBindingCallback] = None,
     ignore_negation: bool = False,
     negative_against: Optional[RelationIndex] = None,
     max_atoms: Optional[int] = None,
@@ -94,6 +110,11 @@ def fixpoint(
         per delta position of that round); callers that need exact support
         sets must deduplicate — :class:`repro.engine.maintenance.SupportTable`
         does.  Opt-in: when ``None`` (default) no per-firing work happens.
+    on_fire_bindings:
+        Row-plane alternative to ``on_fire`` (see
+        :data:`FireBindingCallback`); when both are given, only this one is
+        invoked.  Firings of interned-executor rules pass the raw slot
+        binding instead of a decoded assignment dict.
     ignore_negation:
         Drop negative body literals (the positive-closure approximation).
     negative_against:
@@ -120,6 +141,19 @@ def fixpoint(
         compile_rule(rule, ignore_negation=ignore_negation, statistics=statistics)
         for rule in rules
     ]
+    # The row plane is usable when the growing index and the negation oracle
+    # share one symbol table (ids from one are meaningless in the other).
+    symbols = getattr(target, "symbols", None)
+    row_plane = symbols is not None and (
+        negative_against is None
+        or getattr(negative_against, "symbols", None) is symbols
+    )
+    encoded_of: Dict[int, Optional[EncodedRule]] = {}
+    if row_plane:
+        for rule in compiled:
+            if rule.positive:
+                candidate = encode_rule(rule, symbols)
+                encoded_of[id(rule)] = candidate if candidate.encodable else None
     tracing = tracer is not None and tracer.enabled
     fixpoint_span = (
         tracer.start("engine.fixpoint", rules=len(compiled)) if tracing else None
@@ -138,6 +172,22 @@ def fixpoint(
             if max_atoms is not None and len(target) > max_atoms:
                 raise SolverLimitError(limit_message)
 
+    def derive_row(rule: CompiledRule, encoded: EncodedRule, predicate, row, binding) -> None:
+        # build_head_rows already dropped non-ground heads, so *row* is ground.
+        if target.add_row(predicate, row):
+            if statistics is not None:
+                statistics.triggers_fired += 1
+            if profiler is not None:
+                profiler.record(rule, tuples=1)
+            if on_derive is not None:
+                on_derive(
+                    symbols.atom(predicate, row),
+                    rule.source if rule.source is not None else rule,
+                    encoded.decode_binding(binding),
+                )
+            if max_atoms is not None and len(target) > max_atoms:
+                raise SolverLimitError(limit_message)
+
     try:
         target.update(facts)
         if max_atoms is not None and len(target) > max_atoms:
@@ -151,7 +201,9 @@ def fixpoint(
                 ):
                     if profiler is not None:
                         profiler.record(rule, triggers=1)
-                    if on_fire is not None:
+                    if on_fire_bindings is not None:
+                        on_fire_bindings(rule, None, assignment)
+                    elif on_fire is not None:
                         on_fire(rule, assignment)
                     for head in rule.heads:
                         derive(head, rule, assignment)
@@ -160,8 +212,20 @@ def fixpoint(
         rounds = 0
         tick = target.tick()
         while True:
-            delta = () if first_round else list(target.added_since(tick))
-            if not first_round and not delta:
+            # On the row plane the delta stays encoded: ``rows_added_since``
+            # hands back ``(predicate, row)`` pairs and only rules that fell
+            # back to the object path pay a (cached) decode.
+            if first_round:
+                delta_rows: Optional[List] = []
+                delta_atoms: Optional[List[Atom]] = []
+            elif row_plane:
+                delta_rows = list(target.rows_added_since(tick))
+                delta_atoms = None  # decoded lazily, for fallback rules only
+            else:
+                delta_rows = None
+                delta_atoms = list(target.added_since(tick))
+            delta_size = len(delta_rows if delta_rows is not None else delta_atoms)
+            if not first_round and delta_size == 0:
                 break
             tick = target.tick()
             # The delta is materialised (and round 1 scans everything anyway);
@@ -173,23 +237,46 @@ def fixpoint(
                 statistics.iterations += 1
             round_span = (
                 tracer.start(
-                    "engine.fixpoint.round", round=rounds, delta=len(delta)
+                    "engine.fixpoint.round", round=rounds, delta=delta_size
                 )
                 if tracing
                 else None
             )
             # Materialise each round's matches before inserting, so the hash
             # indexes are never mutated while the join iterates over them.
-            pending: List[Tuple[CompiledRule, dict]] = []
+            # Encoded rules enqueue ``(rule, encoded, slot-binding tuple)``;
+            # fallback rules enqueue ``(rule, None, assignment dict)``.
+            pending: List[Tuple[CompiledRule, Optional[EncodedRule], object]] = []
             for rule in compiled:
                 if not rule.positive:
                     continue
                 if profiler is not None:
                     rule_t0 = perf_counter()
                     rule_n0 = len(pending)
-                if first_round:
+                encoded = encoded_of.get(id(rule))
+                if encoded is not None:
+                    if first_round:
+                        for binding in enumerate_bindings(
+                            encoded,
+                            target,
+                            negative_against=negative_against,
+                            statistics=statistics,
+                        ):
+                            pending.append((rule, encoded, tuple(binding)))
+                    else:
+                        for position in range(len(rule.positive)):
+                            for binding in enumerate_bindings(
+                                encoded,
+                                target,
+                                delta_rows=delta_rows,
+                                delta_position=position,
+                                negative_against=negative_against,
+                                statistics=statistics,
+                            ):
+                                pending.append((rule, encoded, tuple(binding)))
+                elif first_round:
                     pending.extend(
-                        (rule, assignment)
+                        (rule, None, assignment)
                         for assignment in enumerate_matches(
                             rule,
                             target,
@@ -198,13 +285,18 @@ def fixpoint(
                         )
                     )
                 else:
+                    if delta_atoms is None:
+                        decode = symbols.atom
+                        delta_atoms = [
+                            decode(predicate, row) for predicate, row in delta_rows
+                        ]
                     for position in range(len(rule.positive)):
                         pending.extend(
-                            (rule, assignment)
+                            (rule, None, assignment)
                             for assignment in enumerate_matches(
                                 rule,
                                 target,
-                                delta=delta,
+                                delta=delta_atoms,
                                 delta_position=position,
                                 negative_against=negative_against,
                                 statistics=statistics,
@@ -219,11 +311,21 @@ def fixpoint(
                     )
             first_round = False
             try:
-                for rule, assignment in pending:
-                    if on_fire is not None:
-                        on_fire(rule, assignment)
-                    for head in rule.heads:
-                        derive(apply_substitution(head, assignment), rule, assignment)
+                for rule, encoded, payload in pending:
+                    if encoded is not None:
+                        if on_fire_bindings is not None:
+                            on_fire_bindings(rule, encoded, payload)
+                        elif on_fire is not None:
+                            on_fire(rule, encoded.decode_binding(payload))
+                        for predicate, row in encoded.build_head_rows(payload):
+                            derive_row(rule, encoded, predicate, row, payload)
+                    else:
+                        if on_fire_bindings is not None:
+                            on_fire_bindings(rule, None, payload)
+                        elif on_fire is not None:
+                            on_fire(rule, payload)
+                        for head in rule.heads:
+                            derive(apply_substitution(head, payload), rule, payload)
             finally:
                 if round_span is not None:
                     round_span.finish(firings=len(pending))

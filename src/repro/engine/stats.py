@@ -29,6 +29,10 @@ class EngineStatistics:
         Atoms newly added to an index (duplicates are not counted).
     tuples_scanned:
         Candidate atoms inspected by the join matcher.
+    tuples_encoded:
+        Atoms encoded into interned integer rows at the storage boundary
+        (one per ``RelationIndex.add`` — the single Atom→row conversion an
+        accepted fact pays before the engine goes all-integer on it).
     index_builds:
         Lazy hash-index constructions performed by :class:`RelationIndex`
         over full (base) relations — the O(|relation|) scans the versioned
@@ -73,6 +77,7 @@ class EngineStatistics:
     triggers_fired: int = 0
     tuples_derived: int = 0
     tuples_scanned: int = 0
+    tuples_encoded: int = 0
     index_builds: int = 0
     overlay_index_builds: int = 0
     rules_compiled: int = 0

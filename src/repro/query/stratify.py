@@ -272,6 +272,7 @@ def evaluate_stratified(
     max_atoms: Optional[int] = None,
     stratification: Optional[Stratification] = None,
     on_fire=None,
+    on_fire_bindings=None,
     tracer=None,
     profiler=None,
 ) -> RelationIndex:
@@ -298,6 +299,10 @@ def evaluate_stratified(
         Forwarded to every stratum's :func:`~repro.engine.seminaive.fixpoint`
         call — the opt-in per-firing hook
         :class:`repro.engine.maintenance.SupportTable` records through.
+    on_fire_bindings:
+        Row-plane twin of *on_fire*, likewise forwarded to every stratum
+        (see :data:`repro.engine.seminaive.FireBindingCallback`); when both
+        hooks are given, fixpoint invokes only this one.
     tracer / profiler:
         Optional :class:`~repro.obs.trace.Tracer` /
         :class:`~repro.obs.profile.RuleProfiler`, forwarded to every
@@ -341,6 +346,7 @@ def evaluate_stratified(
                 max_atoms=max_atoms,
                 statistics=statistics,
                 on_fire=on_fire,
+                on_fire_bindings=on_fire_bindings,
                 tracer=tracer,
                 profiler=profiler,
                 limit_message="stratified evaluation exceeded max_atoms",

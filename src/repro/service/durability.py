@@ -183,6 +183,41 @@ def decode_query(payload: dict) -> ConjunctiveQuery:
     return ConjunctiveQuery(literals, answer)
 
 
+class _TermInterner:
+    """Term → small-integer table: the persisted twin of the engine's
+    :class:`~repro.engine.intern.SymbolTable`.
+
+    Durable payloads mirror the in-memory storage layout: one ``syms``
+    section holding each distinct ground term once (structurally encoded,
+    position = id) and atoms as ``[predicate, [id, ...]]`` integer rows.
+    Ids are file-local — the in-memory table's dense ids are process
+    lifetimes, never durable state — so any store can be recovered into any
+    process and re-interned from scratch.
+    """
+
+    def __init__(self) -> None:
+        self._indices: Dict[Term, int] = {}
+        self.encoded: List[list] = []
+
+    def ref(self, term: Term) -> int:
+        index = self._indices.get(term)
+        if index is None:
+            index = len(self.encoded)
+            self._indices[term] = index
+            self.encoded.append(encode_term(term))
+        return index
+
+    def atom_row(self, atom: Atom) -> list:
+        return [atom.predicate.name, [self.ref(term) for term in atom.terms]]
+
+
+def _atom_from_row(payload: Sequence, table: Sequence[Term]) -> Atom:
+    name, ids = payload[0], payload[1]
+    return Atom(
+        Predicate(name, len(ids)), tuple(table[index] for index in ids)
+    )
+
+
 class _AtomInterner:
     """Atom → small-integer table for the warm-state encoding.
 
@@ -420,25 +455,46 @@ class FactLog:
         batches: List[LoggedBatch] = []
         for payload in payloads:
             record = json.loads(payload.decode("utf-8"))
-            ops = [
-                (kind, tuple(decode_atom(atom) for atom in atoms))
-                for kind, atoms in record["ops"]
-            ]
+            syms = record.get("syms")
+            if syms is not None:
+                # v2 record: per-record symbol table + integer atom rows.
+                table = [decode_term(entry) for entry in syms]
+                ops = [
+                    (kind, tuple(_atom_from_row(atom, table) for atom in atoms))
+                    for kind, atoms in record["ops"]
+                ]
+            else:
+                # v1 record (pre-interning store): structural atoms inline.
+                ops = [
+                    (kind, tuple(decode_atom(atom) for atom in atoms))
+                    for kind, atoms in record["ops"]
+                ]
             batches.append((record["batch"], ops))
         return batches
 
     def append(
         self, batch_id: int, ops: Sequence[Tuple[str, Sequence[Atom]]]
     ) -> int:
-        """Append one batch record; returns the framed size in bytes."""
+        """Append one batch record; returns the framed size in bytes.
+
+        Records are written in the v2 layout: a per-record ``syms`` term
+        table plus integer atom rows (see :class:`_TermInterner`) — each
+        distinct term of the batch is encoded once however often it recurs
+        across the batch's atoms.  :meth:`open_and_recover` reads v1
+        (inline structural atoms) and v2 records alike, so logs written by
+        older stores replay unchanged.
+        """
         assert self._file is not None, "log not opened"
+        interner = _TermInterner()
+        encoded_ops = [
+            [kind, [interner.atom_row(atom) for atom in atoms]]
+            for kind, atoms in ops
+        ]
         payload = json.dumps(
             {
                 "batch": batch_id,
-                "ops": [
-                    [kind, [encode_atom(atom) for atom in atoms]]
-                    for kind, atoms in ops
-                ],
+                "syms": interner.encoded,
+                "ops": encoded_ops,
             },
             separators=(",", ":"),
         ).encode("utf-8")
@@ -709,9 +765,18 @@ class DurabilityManager:
                 warm: Optional[WarmState] = None
             else:
                 _, payload = latest
-                facts = tuple(
-                    decode_atom(atom) for atom in payload["facts"]
-                )
+                if int(payload.get("format", 1)) >= 2:
+                    table = [
+                        decode_term(entry) for entry in payload["symbols"]
+                    ]
+                    facts = tuple(
+                        _atom_from_row(atom, table)
+                        for atom in payload["facts"]
+                    )
+                else:
+                    facts = tuple(
+                        decode_atom(atom) for atom in payload["facts"]
+                    )
                 revision = int(payload["revision"])
                 batch_id = int(payload["batch_id"])
                 digest = payload.get("digest")
@@ -779,12 +844,18 @@ class DurabilityManager:
         tracer = get_tracer()
         span = tracer.start("service.checkpoint") if tracer.enabled else None
         try:
+            # Format 2: facts are integer rows against one ``symbols``
+            # section, mirroring the engine's interned storage (format-1
+            # checkpoints — structural atoms inline — remain readable).
+            interner = _TermInterner()
+            fact_rows = [interner.atom_row(atom) for atom in facts]
             payload = {
-                "format": 1,
+                "format": 2,
                 "batch_id": batch_id,
                 "revision": revision,
                 "digest": digest,
-                "facts": [encode_atom(atom) for atom in facts],
+                "symbols": interner.encoded,
+                "facts": fact_rows,
                 "warm": encode_warm_state(warm) if warm is not None else None,
             }
             sequence = self.store.write(payload)

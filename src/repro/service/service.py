@@ -60,6 +60,7 @@ from ..core.atoms import Atom
 from ..core.database import Database
 from ..core.queries import ConjunctiveQuery
 from ..core.terms import Term
+from ..engine.intern import global_symbols
 from ..engine.stats import EngineStatistics
 from ..obs.metrics import MetricsRegistry, MetricsSnapshot, global_registry
 from ..obs.trace import get_tracer
@@ -122,6 +123,11 @@ class ServiceStatistics:
     coalesced_ops: int = 0
     queue_high_water: int = 0
     backpressure_rejections: int = 0
+    #: size of the process-wide engine symbol table, sampled at each epoch
+    #: publish and at ``stats()`` — how many distinct ground terms the
+    #: interned storage core has ever seen (exported as
+    #: ``service_symbols_interned``).
+    symbols_interned: int = 0
     engine: EngineStatistics = field(default_factory=EngineStatistics)
 
 
@@ -867,6 +873,7 @@ class DatalogService:
         self._published_at = time.time()
         with self._stats_lock:
             self.statistics.epochs_published += 1
+            self.statistics.symbols_interned = len(global_symbols())
         if span is not None:
             span.finish(
                 revision=self._epoch.revision, facts=len(self._epoch.snapshot)
@@ -885,6 +892,8 @@ class DatalogService:
         :func:`repro.obs.prometheus_text` / :func:`repro.obs.json_snapshot`
         to export, or ``.diff(earlier)`` two of them for interval rates.
         """
+        with self._stats_lock:
+            self.statistics.symbols_interned = len(global_symbols())
         return self._metrics.snapshot()
 
     # ------------------------------------------------------------- lifecycle

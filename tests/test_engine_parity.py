@@ -376,6 +376,137 @@ class TestVersionedStorageParity:
 
 
 # ---------------------------------------------------------------------------
+# Interned executor parity: row-plane joins vs the object-path backtracker
+# ---------------------------------------------------------------------------
+
+
+class TestInternedExecutorParity:
+    """The interned (row-plane) executor and the object-path backtracker
+    enumerate identical assignment sets.
+
+    ``enumerate_matches`` runs encoded whenever the growing index and the
+    negation oracle share a symbol table; giving the oracle its *own* table
+    (same atoms, different ids) forces the object fallback, so each test
+    runs the same join twice — once per executor — and compares."""
+
+    @staticmethod
+    def _fresh_index(atoms):
+        from repro.engine import MemoryBackend, RelationIndex, SymbolTable
+
+        return RelationIndex(atoms, backend=MemoryBackend(SymbolTable()))
+
+    @staticmethod
+    def _both_ways(rule, index, oracle_atoms, **kwargs):
+        from repro.engine import RelationIndex
+        from repro.engine.planner import compile_rule, encode_rule, enumerate_matches
+
+        compiled = compile_rule(rule) if not hasattr(rule, "positive") else rule
+        assert encode_rule(compiled, index.symbols).encodable
+        shared_oracle = RelationIndex(
+            oracle_atoms, backend=None
+        ) if oracle_atoms is not None else None
+        if shared_oracle is not None:
+            # Same symbol table as *index* (the global default) -> encoded.
+            assert shared_oracle.symbols is index.symbols
+        encoded_run = [
+            dict(m)
+            for m in enumerate_matches(
+                compiled, index, negative_against=shared_oracle, **kwargs
+            )
+        ]
+        foreign_oracle = TestInternedExecutorParity._fresh_index(
+            oracle_atoms if oracle_atoms is not None else index.atoms()
+        )
+        object_run = [
+            dict(m)
+            for m in enumerate_matches(
+                compiled, index, negative_against=foreign_oracle, **kwargs
+            )
+        ]
+        freeze = lambda m: frozenset(m.items())
+        assert {freeze(m) for m in encoded_run} == {freeze(m) for m in object_run}
+        return encoded_run
+
+    def test_positive_join_parity(self):
+        from repro.core.atoms import Predicate
+        from repro.core.terms import Constant, Variable
+        from repro.engine import RelationIndex
+        from repro.engine.planner import CompiledRule
+
+        e = Predicate("e", 2)
+        c = [Constant(f"c{i}") for i in range(5)]
+        atoms = [e(c[i], c[(i * 3 + 1) % 5]) for i in range(5)]
+        atoms += [e(c[0], c[2]), e(c[2], c[4])]
+        index = RelationIndex(atoms)
+        X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+        rule = CompiledRule(heads=(), positive=(e(X, Y), e(Y, Z)), negative=())
+        matches = self._both_ways(rule, index, list(index.atoms()))
+        assert matches  # the workload is non-trivial
+
+    def test_negation_and_null_parity(self):
+        from repro.core.atoms import Predicate
+        from repro.core.terms import Constant, Null, Variable
+        from repro.engine import RelationIndex
+        from repro.engine.planner import CompiledRule
+
+        p, q = Predicate("p", 2), Predicate("q", 1)
+        c = [Constant(f"c{i}") for i in range(4)]
+        n = Null("n1")
+        atoms = [p(c[0], c[1]), p(c[1], c[2]), p(c[2], n), q(c[1])]
+        index = RelationIndex(atoms)
+        X, Y = Variable("X"), Variable("Y")
+        # Pattern nulls bind like variables in the positive body, and the
+        # negative image must agree between executors too.
+        rule = CompiledRule(heads=(), positive=(p(X, Y),), negative=(q(X),))
+        matches = self._both_ways(rule, index, list(index.atoms()))
+        assert all(m[X] != c[1] for m in matches)
+        assert any(m[Y] == n for m in matches)
+
+    def test_delta_mode_parity(self):
+        from repro.core.atoms import Predicate
+        from repro.core.terms import Constant, Variable
+        from repro.engine import RelationIndex
+        from repro.engine.planner import CompiledRule
+
+        e = Predicate("e", 2)
+        c = [Constant(f"c{i}") for i in range(6)]
+        atoms = [e(c[i], c[i + 1]) for i in range(5)]
+        index = RelationIndex(atoms)
+        X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+        rule = CompiledRule(heads=(), positive=(e(X, Y), e(Y, Z)), negative=())
+        delta = [e(c[2], c[3]), e(c[4], c[5])]
+        for position in (0, 1):
+            self._both_ways(
+                rule,
+                index,
+                list(index.atoms()),
+                delta=delta,
+                delta_position=position,
+            )
+
+    def test_skolem_function_heads_round_trip(self):
+        """Encoded head building constructs ground function terms through
+        ``SymbolTable.encode_function`` — the atoms must equal the object
+        path's ``apply_substitution`` output."""
+        from repro.core.atoms import Predicate, apply_substitution
+        from repro.core.terms import Constant, FunctionTerm, Variable
+        from repro.engine import RelationIndex, fixpoint
+        from repro.lp.programs import NormalRule
+
+        e, s = Predicate("e", 2), Predicate("s", 2)
+        c = [Constant(f"c{i}") for i in range(4)]
+        X, Y = Variable("X"), Variable("Y")
+        rule = NormalRule(s(X, FunctionTerm("sk", (X, Y))), (e(X, Y),), ())
+        facts = [e(c[i], c[i + 1]) for i in range(3)]
+        result = fixpoint([rule], facts)
+        expected = {
+            s(a.terms[0], FunctionTerm("sk", (a.terms[0], a.terms[1])))
+            for a in facts
+        }
+        assert {atom for atom in result.atoms() if atom.predicate == s} == expected
+
+
+# ---------------------------------------------------------------------------
 # Incremental maintenance parity: repaired views vs from-scratch evaluation
 # ---------------------------------------------------------------------------
 

@@ -610,3 +610,28 @@ class TestColdBuildRegression:
                 if re.search(r"(?<![\w.])print\(", stripped):
                     offenders.append(f"{path}:{number}")
         assert not offenders, f"stray print() in library code: {offenders}"
+
+    def test_no_builtin_id_in_intern_module(self):
+        """Mirror of the CI grep lint: term identity on the row plane comes
+        from SymbolTable ids, so ``intern.py`` must never call builtin
+        ``id()`` — aliasing CPython object addresses with interned term ids
+        is exactly the bug class the dense-id invariant exists to prevent."""
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "src"
+            / "repro"
+            / "engine"
+            / "intern.py"
+        )
+        offenders = []
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            stripped = line.lstrip()
+            if stripped.startswith("#"):
+                continue
+            if re.search(r"(?<![\w.])id\(", stripped):
+                offenders.append(f"{path}:{number}")
+        assert not offenders, f"builtin id() call in intern.py: {offenders}"
