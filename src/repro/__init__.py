@@ -85,6 +85,7 @@ from .errors import (
     ServiceOverloadedError,
     SolverLimitError,
     StratificationError,
+    SubscriptionError,
     UnsupportedClassError,
 )
 from .obs import (
@@ -100,7 +101,13 @@ from .obs import (
     use_tracer,
 )
 from .query import QueryPlan, QuerySession, compile_query_plan, magic_rewrite, stratify
-from .service import DatalogService, ServiceStatistics
+from .service import (
+    DatalogService,
+    Gap,
+    Notification,
+    ServiceStatistics,
+    Subscription,
+)
 from .stable import (
     StableModelEngine,
     Universe,
@@ -126,6 +133,7 @@ __all__ = [
     "DisjunctiveRuleSet",
     "EngineStatistics",
     "FunctionTerm",
+    "Gap",
     "GroundingError",
     "InconsistentProgramError",
     "Interpretation",
@@ -135,6 +143,7 @@ __all__ = [
     "MetricsRegistry",
     "NDTGD",
     "NTGD",
+    "Notification",
     "Null",
     "NullFactory",
     "ParseError",
@@ -153,6 +162,8 @@ __all__ = [
     "SolverLimitError",
     "StableModelEngine",
     "StratificationError",
+    "Subscription",
+    "SubscriptionError",
     "Tracer",
     "Universe",
     "UnsupportedClassError",

@@ -34,6 +34,8 @@ from .session import (
     QueryStatistics,
     SessionEpoch,
     SessionStatistics,
+    StandingDeltas,
+    StandingQuery,
     StratumTiming,
     compile_query_plan,
     full_fixpoint_answers,
@@ -62,6 +64,8 @@ __all__ = [
     "QueryStatistics",
     "SessionEpoch",
     "SessionStatistics",
+    "StandingDeltas",
+    "StandingQuery",
     "Stratification",
     "StratumTiming",
     "adorn_atom",

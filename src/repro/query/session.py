@@ -57,9 +57,14 @@ from ..core.atoms import Atom, Literal, Predicate, apply_substitution
 from ..core.database import Database
 from ..core.queries import ConjunctiveQuery
 from ..core.terms import Constant, Term
-from ..engine import MaterializedView, RelationIndex, RelationSnapshot
+from ..engine import MaterializedView, RelationIndex, RelationSnapshot, ViewDelta
 from ..engine.stats import EngineStatistics
-from ..errors import SolverLimitError, StratificationError, UnsupportedClassError
+from ..errors import (
+    SolverLimitError,
+    StratificationError,
+    SubscriptionError,
+    UnsupportedClassError,
+)
 from ..obs.metrics import global_registry
 from ..obs.profile import RuleProfile, RuleProfiler
 from ..obs.trace import Tracer, get_tracer
@@ -79,6 +84,8 @@ __all__ = [
     "QueryStatistics",
     "SessionEpoch",
     "SessionStatistics",
+    "StandingDeltas",
+    "StandingQuery",
     "StratumTiming",
     "ViewExport",
     "WarmState",
@@ -424,10 +431,69 @@ class _PlanView:
     as a deletion delta, which cascades its magic cone away in O(cone), no
     rebuild.  Cached answers of a pruned seed stay valid until the next
     relevant mutation, whose repair pass evicts them (their seed is gone).
+
+    ``pins`` maps seeds claimed by standing queries
+    (:meth:`QuerySession.register_standing`) to the registration tokens
+    holding them.  A pinned seed is never pruned and a view holding any pin
+    is never evicted with its plan — a standing query's exactness contract
+    is that its seed's derivation cone stays materialised and repaired, so
+    the per-epoch :class:`~repro.engine.maintenance.ViewDelta` accounts for
+    every answer change.  Pins die with the view (budget drop): the
+    subscription layer detects the loss and re-registers through a gap.
     """
 
     view: MaterializedView
     seeds: "OrderedDict[Atom, None]" = field(default_factory=OrderedDict)
+    pins: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StandingQuery:
+    """One registered standing query: everything needed to turn per-plan
+    :class:`~repro.engine.maintenance.ViewDelta`\\ s into per-query answer
+    deltas without re-evaluation.
+
+    Produced by :meth:`QuerySession.register_standing`.  ``plan_key``
+    addresses the plan (and its pinned materialised view) inside the
+    session; ``goal``/``answer_arity``/``constants`` describe how answer
+    tuples are read off the view's goal relation (answer prefix, parameter
+    suffix); ``seed`` is the pinned magic seed; ``depends`` the dependency
+    cone used to skip irrelevant epochs; ``answers`` the registration-time
+    answer set (the subscriber's fold starting point).
+    """
+
+    query: ConjunctiveQuery
+    plan_key: tuple
+    constants: Tuple[Constant, ...]
+    seed: Atom
+    goal: Predicate
+    answer_arity: int
+    depends: Optional[frozenset[Predicate]]
+    answers: frozenset
+
+
+@dataclass(frozen=True)
+class StandingDeltas:
+    """What one :meth:`QuerySession.drain_standing_deltas` call hands over.
+
+    ``touched`` is the union of predicates whose base facts net-changed
+    since the previous drain; ``views`` maps plan keys to the **net**
+    :class:`~repro.engine.maintenance.ViewDelta` their maintained views
+    absorbed (only non-empty deltas appear); ``lost`` lists plan keys whose
+    view was dropped mid-repair (budget) — their deltas are incomplete, so
+    any standing query on them must resynchronise instead of trusting
+    ``views``.
+    """
+
+    touched: frozenset[Predicate]
+    views: Mapping[tuple, ViewDelta]
+    lost: frozenset[tuple]
+
+    def __bool__(self) -> bool:
+        return bool(self.touched or self.views or self.lost)
+
+
+_EMPTY_STANDING_DELTAS = StandingDeltas(frozenset(), {}, frozenset())
 
 
 @dataclass(frozen=True)
@@ -606,6 +672,17 @@ class QuerySession:
             Tuple[frozenset, Optional[frozenset[Predicate]], Optional[tuple]],
         ] = OrderedDict()
         self._revision = 0
+        # ---- standing-query (subscription) support.  Capture is off until
+        # the first register_standing call, so sessions without standing
+        # queries pay nothing on the mutation path.
+        self._standing_tokens: set = set()
+        self._capture_deltas = False
+        #: predicates whose base facts net-changed since the last drain
+        self._pending_touched: set[Predicate] = set()
+        #: plan key -> (net added atoms, net removed atoms) since last drain
+        self._pending_views: dict[tuple, Tuple[set, set]] = {}
+        #: plan keys whose view died mid-repair since the last drain
+        self._pending_lost: set[tuple] = set()
         # Decide once whether the rules are in the rewritable fragment; keep
         # the normalised form so plan compilation does not re-normalise.
         self._rewritable = True
@@ -808,6 +885,160 @@ class QuerySession:
         except Exception:  # pragma: no cover - defensive best effort
             return None
 
+    # -------------------------------------------------------- standing queries
+    def register_standing(self, query: ConjunctiveQuery, token) -> StandingQuery:
+        """Register *query* as a standing query pinned to its maintained view.
+
+        Compiles (or reuses) the query's plan, materialises the plan's view,
+        injects the query's magic seed, and **pins** both — the seed is
+        exempt from LRU pruning and the plan from cache eviction for as long
+        as any token holds it — then switches on per-mutation delta capture
+        (:meth:`drain_standing_deltas`).  Returns a :class:`StandingQuery`
+        carrying the registration-time answers and everything needed to
+        project the view's future :class:`~repro.engine.maintenance.ViewDelta`\\ s
+        onto this query's answer tuples.
+
+        Idempotent per ``(query shape, constants, token)``: re-registering
+        (e.g. to resynchronise after a budget-dropped view) re-pins and
+        returns the *current* answers without re-deriving anything already
+        materialised.  Raises the session's scope error outside the
+        rewritable fragment, and :class:`~repro.errors.SubscriptionError`
+        when exact deltas are impossible (``maintenance=False``, namespace
+        collision, or a view that cannot be held within ``max_atoms``).
+        """
+        if not self._maintenance:
+            raise SubscriptionError(
+                "standing queries require maintenance=True: exact per-epoch "
+                "deltas come from the incrementally maintained view"
+            )
+        plan_key, plan = self._plan_entry(query)  # raises outside the fragment
+        if not self._overlay_safe(plan):
+            raise SubscriptionError(
+                "a base predicate name collides with the plan's generated "
+                f"namespace (infix {plan.program.infix!r}); the streaming "
+                "evaluation path records no derivation counts, so exact "
+                "deltas are unavailable for this query"
+            )
+        entry = self._view_entry(plan_key, plan)
+        _, _, constants = canonicalize_query(query)
+        seed = plan.program.seed(constants)
+        if seed in entry.seeds:
+            entry.seeds.move_to_end(seed)
+        else:
+            try:
+                entry.view.apply_delta(additions=[seed])
+            except SolverLimitError as error:
+                # A half-injected seed leaves the view silently under-derived
+                # for this constant vector forever; drop it (the next miss
+                # rebuilds cleanly) and refuse the registration.
+                self._views.pop(plan_key, None)
+                raise SubscriptionError(
+                    "the standing query's derivation cone exceeds max_atoms; "
+                    "its view cannot be maintained exactly"
+                ) from error
+            entry.seeds[seed] = None
+        entry.pins.setdefault(seed, set()).add(token)
+        self._standing_tokens.add(token)
+        self._capture_deltas = True
+        answers = plan.program.collect_answers(entry.view.index, constants)
+        return StandingQuery(
+            query=query,
+            plan_key=plan_key,
+            constants=constants,
+            seed=seed,
+            goal=plan.program.goal.renamed,
+            answer_arity=plan.program.answer_arity,
+            depends=plan.depends,
+            answers=answers,
+        )
+
+    def release_standing(self, standing: StandingQuery, token) -> None:
+        """Drop *token*'s pin on a standing query's seed (idempotent).
+
+        The seed (and the view) become ordinary LRU citizens again once the
+        last token releases them; capture stays on while any standing query
+        remains registered.
+        """
+        entry = self._views.get(standing.plan_key)
+        if entry is not None:
+            tokens = entry.pins.get(standing.seed)
+            if tokens is not None:
+                tokens.discard(token)
+                if not tokens:
+                    del entry.pins[standing.seed]
+        self._standing_tokens.discard(token)
+        if not self._standing_tokens:
+            self._capture_deltas = False
+            self._pending_touched.clear()
+            self._pending_views.clear()
+            self._pending_lost.clear()
+
+    def standing_exact(self, standing: StandingQuery) -> bool:
+        """``True`` while the standing query's view and seed are still live —
+        i.e. the next :meth:`drain_standing_deltas` accounts exactly for its
+        answer changes.  ``False`` after a budget drop: the subscriber must
+        resynchronise (typically by re-registering)."""
+        entry = self._views.get(standing.plan_key)
+        return entry is not None and standing.seed in entry.seeds
+
+    def standing_answers(self, standing: StandingQuery) -> Optional[frozenset]:
+        """The standing query's current answers read off its live view (one
+        filtered goal-relation scan, no re-evaluation), or ``None`` when the
+        view or seed is gone (:meth:`standing_exact` is ``False``)."""
+        if not self.standing_exact(standing):
+            return None
+        plan = self._plans.get(standing.plan_key)
+        if plan is None:  # pragma: no cover - pinned plans are not evicted
+            return None
+        entry = self._views[standing.plan_key]
+        return plan.program.collect_answers(entry.view.index, standing.constants)
+
+    def drain_standing_deltas(self) -> StandingDeltas:
+        """The net per-plan :class:`~repro.engine.maintenance.ViewDelta`\\ s
+        accumulated since the previous drain, then reset.
+
+        Captured inside the mutation path (:meth:`apply_batch` /
+        :meth:`add_facts` / :meth:`remove_facts`) only — seed injections and
+        prunings on the read path never pollute the stream.  Multiple
+        mutations between drains compose into one net delta per plan.  The
+        single-writer serving layer drains once per epoch publish and fans
+        the result out to subscribers; see ``repro.service.subscriptions``.
+        """
+        if not (
+            self._pending_touched or self._pending_views or self._pending_lost
+        ):
+            return _EMPTY_STANDING_DELTAS
+        views = {
+            key: ViewDelta(frozenset(added), frozenset(removed))
+            for key, (added, removed) in self._pending_views.items()
+            if added or removed
+        }
+        drained = StandingDeltas(
+            touched=frozenset(self._pending_touched),
+            views=views,
+            lost=frozenset(self._pending_lost),
+        )
+        self._pending_touched.clear()
+        self._pending_views.clear()
+        self._pending_lost.clear()
+        return drained
+
+    def _capture_view_delta(self, key: tuple, delta: ViewDelta) -> None:
+        """Fold one repair's delta into the pending net-change for its plan."""
+        if not delta:
+            return
+        added, removed = self._pending_views.setdefault(key, (set(), set()))
+        for atom in delta.added:
+            if atom in removed:
+                removed.discard(atom)
+            else:
+                added.add(atom)
+        for atom in delta.removed:
+            if atom in added:
+                added.discard(atom)
+            else:
+                removed.add(atom)
+
     def add_facts(self, atoms: Iterable[Atom]) -> int:
         """Insert facts; returns the number actually new.
 
@@ -913,6 +1144,8 @@ class QuerySession:
     ) -> None:
         touched = {atom.predicate for atom in added}
         touched.update(atom.predicate for atom in removed)
+        if self._capture_deltas:
+            self._pending_touched.update(touched)
         self._revision += 1
         self._snapshot = None
         self._export_snapshot = None
@@ -933,20 +1166,30 @@ class QuerySession:
             plan = self._plans.get(key)
             if plan is None or plan.depends is None:  # pragma: no cover - guard
                 del self._views[key]
+                if self._capture_deltas:
+                    self._pending_lost.add(key)
                 continue
             relevant_added = [a for a in added if a.predicate in plan.depends]
             relevant_removed = [a for a in removed if a.predicate in plan.depends]
             if relevant_added or relevant_removed:
                 try:
-                    entry.view.apply_delta(
+                    delta = entry.view.apply_delta(
                         additions=relevant_added, deletions=relevant_removed
                     )
+                    if self._capture_deltas:
+                        self._capture_view_delta(key, delta)
                 except SolverLimitError:
                     # The repair blew the max_atoms budget: drop the view and
                     # let the answer pass below evict its answers (they are
                     # re-evaluated — and the budget re-enforced — on the
-                    # next miss).  A mutation itself must never raise.
+                    # next miss).  A mutation itself must never raise.  A
+                    # half-applied repair also means whatever was captured
+                    # for this plan is not a trustworthy net delta: mark the
+                    # plan lost so standing queries resynchronise.
                     del self._views[key]
+                    if self._capture_deltas:
+                        self._pending_views.pop(key, None)
+                        self._pending_lost.add(key)
         self.statistics.predicate_invalidations += 1
         for cache_key in list(self._answers):
             _, depends, plan_key = self._answers[cache_key]
@@ -1003,7 +1246,23 @@ class QuerySession:
         )
         self._plans[key] = plan
         while len(self._plans) > self._plan_cache_size:
-            evicted_key, _ = self._plans.popitem(last=False)
+            # Standing queries pin their plan: evicting it would orphan the
+            # maintained view their exact deltas come from.  Evict the
+            # coldest *unpinned* plan instead; if every plan is pinned the
+            # cache runs over its bound (the subscriber count is the floor).
+            evicted_key = next(
+                (
+                    key_
+                    for key_ in self._plans
+                    if not (
+                        key_ in self._views and self._views[key_].pins
+                    )
+                ),
+                None,
+            )
+            if evicted_key is None:
+                break
+            del self._plans[evicted_key]
             # A view is only as alive as its plan: repairing it without the
             # plan's cone would be blind, so it leaves the cache together.
             self._views.pop(evicted_key, None)
@@ -1204,7 +1463,21 @@ class QuerySession:
                             # Prune the coldest seed: its magic cone cascades
                             # away as a deletion delta (O(cone), no rebuild),
                             # bounding the view's growth in a long session.
-                            cold, _ = entry.seeds.popitem(last=False)
+                            # Seeds pinned by standing queries are exempt —
+                            # pruning one would silently break its exact
+                            # delta stream; with every seed pinned the view
+                            # runs over the cap (subscribers are the floor).
+                            cold = next(
+                                (
+                                    seed_
+                                    for seed_ in entry.seeds
+                                    if seed_ not in entry.pins
+                                ),
+                                None,
+                            )
+                            if cold is None:
+                                break
+                            del entry.seeds[cold]
                             entry.view.apply_delta(deletions=[cold])
                     except SolverLimitError:
                         # A half-pruned view must never stay registered (it

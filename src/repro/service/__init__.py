@@ -16,17 +16,30 @@ warm state, and a warm-restart recovery path — an acknowledged write is
 never lost by a crash and never applied twice by recovery
 (:mod:`repro.service.durability`).
 
-See ``docs/serving.md`` for the architecture walk-through and
+Beyond polling, :meth:`DatalogService.subscribe` registers **standing
+queries**: each subscriber owns a bounded delta queue receiving ordered
+:class:`Notification` objects — per-epoch added/removed answer sets derived
+from the maintained views' exact deltas, with ``block`` /
+``drop_and_mark_gap`` backpressure and :class:`Gap` resync markers
+(:mod:`repro.service.subscriptions`).
+
+See ``docs/serving.md`` for the architecture walk-through,
+``docs/subscriptions.md`` for the push-based delivery contract, and
 ``docs/durability.md`` for the durability layer.
 """
 
 from .durability import DurabilityConfig, DurabilityManager
 from .service import DatalogService, Epoch, ServiceStatistics
+from .subscriptions import Gap, Notification, Subscription, SubscriptionRegistry
 
 __all__ = [
     "DatalogService",
     "DurabilityConfig",
     "DurabilityManager",
     "Epoch",
+    "Gap",
+    "Notification",
     "ServiceStatistics",
+    "Subscription",
+    "SubscriptionRegistry",
 ]

@@ -42,6 +42,13 @@ views then repair those answers in place under future mutations — so a hot
 query's answers keep arriving pre-computed in every subsequent epoch without
 ever being recomputed from scratch.
 
+Beyond polling, clients can **subscribe**: :meth:`DatalogService.subscribe`
+registers a standing query and streams ordered per-epoch answer deltas
+(:class:`~repro.service.subscriptions.Notification`) into a bounded
+per-subscriber queue, derived from the maintained views' exact
+``ViewDelta``\\ s at publish time — see :mod:`repro.service.subscriptions`
+and ``docs/subscriptions.md``.
+
 See ``docs/serving.md`` for the epoch-publication diagram and the knob
 reference, and ``benchmarks/bench_service_throughput.py`` for the measured
 reader-scaling and write-amortisation claims.
@@ -54,7 +61,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom
 from ..core.database import Database
@@ -80,6 +87,7 @@ from ..query.session import (
     compile_query_plan,
 )
 from .durability import DurabilityConfig, DurabilityManager
+from .subscriptions import Subscription, SubscriptionRegistry
 
 __all__ = ["DatalogService", "Epoch", "ServiceStatistics"]
 
@@ -123,6 +131,14 @@ class ServiceStatistics:
     coalesced_ops: int = 0
     queue_high_water: int = 0
     backpressure_rejections: int = 0
+    #: lifetime subscription registrations, notifications enqueued across
+    #: all subscribers, and gap markers enqueued (exported flattened as
+    #: ``service_subscriptions_registered`` / ``service_notifications_sent``
+    #: / ``service_subscription_gaps``; the *live* subscriber count is the
+    #: ``service_subscriptions_active`` gauge).
+    subscriptions_registered: int = 0
+    notifications_sent: int = 0
+    subscription_gaps: int = 0
     #: size of the process-wide engine symbol table, sampled at each epoch
     #: publish and at ``stats()`` — how many distinct ground terms the
     #: interned storage core has ever seen (exported as
@@ -194,14 +210,24 @@ class Epoch:
 
 
 class _PendingOp:
-    """One enqueued mutation awaiting the writer: kind, atoms, ack future."""
+    """One enqueued op awaiting the writer: kind, atoms, payload, ack future.
 
-    __slots__ = ("kind", "atoms", "future")
+    Mutations (``add`` / ``remove``) carry atoms; control ops ride the same
+    queue with empty atoms — ``checkpoint`` (no payload), ``subscribe``
+    (payload: the keyword dict for the registry, future resolves to the
+    :class:`Subscription`) and ``unsubscribe`` (payload: the subscription
+    whose session-side pin the writer releases).
+    """
 
-    def __init__(self, kind: str, atoms: Tuple[Atom, ...]) -> None:
+    __slots__ = ("kind", "atoms", "payload", "future")
+
+    def __init__(
+        self, kind: str, atoms: Tuple[Atom, ...], payload=None
+    ) -> None:
         self.kind = kind
         self.atoms = atoms
-        self.future: "Future[int]" = Future()
+        self.payload = payload
+        self.future: Future = Future()
 
 
 class DatalogService:
@@ -358,6 +384,9 @@ class DatalogService:
         self._coalesce_window = coalesce_window
         self._warm_cache = warm_cache
         self.statistics = ServiceStatistics()
+        self._subscriptions = SubscriptionRegistry(
+            self, self._session, self.statistics
+        )
 
         # ---- observability plumbing (see repro.obs and docs/observability.md)
         # Flattened ``service_*`` counters; weakly referenced, so the
@@ -387,7 +416,15 @@ class DatalogService:
             "service_pending_futures",
             help="Unacknowledged write futures (queued + in-flight batch).",
         )
+        self._subscriptions_gauge = self._metrics.gauge(
+            "service_subscriptions_active",
+            help="Live (not unsubscribed, not closed) subscriptions.",
+        )
         self._gauge_callbacks = [
+            (
+                self._subscriptions_gauge,
+                lambda: self._subscriptions.active_count(),
+            ),
             (self._queue_depth_gauge, lambda: len(self._pending)),
             (
                 self._epoch_lag_gauge,
@@ -649,8 +686,84 @@ class DatalogService:
         """
         self._enqueue("add", ()).result(timeout)
 
-    def _enqueue(self, kind: str, atoms: Iterable[Atom]) -> "Future[int]":
-        op = _PendingOp(kind, tuple(atoms))
+    def subscribe(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        mode: str = "iterator",
+        callback: Optional[Callable] = None,
+        max_queue: int = 256,
+        on_overflow: str = "block",
+        timeout: Optional[float] = None,
+    ) -> Subscription:
+        """Register a standing query; returns a live :class:`Subscription`.
+
+        The registration rides the write queue as a control op, so the
+        subscription's ``snapshot_answers`` are the answers at some published
+        revision and every later relevant epoch delivers exactly one
+        :class:`~repro.service.subscriptions.Notification` (or
+        :class:`~repro.service.subscriptions.Gap`) — derived from the
+        maintained view's exact ``ViewDelta``, never by re-evaluation.
+
+        Parameters
+        ----------
+        mode:
+            ``"iterator"`` (default): consume by iterating the subscription
+            or calling ``get()``.  ``"callback"``: a dedicated pump thread
+            invokes *callback* once per stream item, in order.
+        max_queue:
+            Bound on queued, unconsumed items (≥ 1).
+        on_overflow:
+            What a full queue does to a delivery: ``"block"`` (default)
+            stalls the writer — backpressure reaches mutators, mirroring the
+            write queue's own ``block`` policy — while
+            ``"drop_and_mark_gap"`` coalesces the backlog into a single
+            :class:`Gap` carrying a full-resync answer set.
+        timeout:
+            Bound, in seconds, on waiting for the writer's acknowledgement.
+
+        Raises the plan's scope error for out-of-fragment queries,
+        :class:`~repro.errors.SubscriptionError` when exact deltas are
+        impossible (``maintenance=False``, budget, namespace collision), and
+        :class:`~repro.errors.ServiceClosedError` after ``close()``.
+        """
+        if mode not in ("iterator", "callback"):
+            raise ValueError(
+                f"mode must be 'iterator' or 'callback', got {mode!r}"
+            )
+        if (callback is not None) != (mode == "callback"):
+            raise ValueError(
+                "pass callback= exactly when mode='callback'"
+            )
+        if on_overflow not in ("block", "drop_and_mark_gap"):
+            raise ValueError(
+                "on_overflow must be 'block' or 'drop_and_mark_gap', "
+                f"got {on_overflow!r}"
+            )
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        payload = dict(
+            query=query,
+            mode=mode,
+            callback=callback,
+            max_queue=max_queue,
+            on_overflow=on_overflow,
+        )
+        return self._enqueue("subscribe", (), payload=payload).result(timeout)
+
+    @property
+    def subscriptions_active(self) -> int:
+        """Live (not unsubscribed, not closed) subscription count."""
+        return self._subscriptions.active_count()
+
+    def _enqueue(
+        self,
+        kind: str,
+        atoms: Iterable[Atom],
+        payload=None,
+        force: bool = False,
+    ) -> Future:
+        op = _PendingOp(kind, tuple(atoms), payload)
         deadline = (
             time.monotonic() + self._enqueue_timeout
             if self._enqueue_timeout is not None
@@ -659,7 +772,7 @@ class DatalogService:
         with self._queue_lock:
             if self._closed:
                 raise ServiceClosedError("service is closed")
-            while len(self._pending) >= self._max_pending:
+            while not force and len(self._pending) >= self._max_pending:
                 if self._backpressure == "reject":
                     with self._stats_lock:
                         self.statistics.backpressure_rejections += 1
@@ -743,8 +856,21 @@ class DatalogService:
             else None
         )
         try:
-            mutations = [op for op in batch if op.kind != "checkpoint"]
+            mutations = [op for op in batch if op.kind in ("add", "remove")]
             controls = [op for op in batch if op.kind == "checkpoint"]
+            # Subscriptions register *before* the drain's mutations are
+            # applied: the registration snapshot is at the pre-batch
+            # revision, and this very batch produces the subscriber's first
+            # notification — no revision is skipped and none arrives twice.
+            for op in batch:
+                if op.kind != "subscribe":
+                    continue
+                try:
+                    subscription = self._subscriptions.register(**op.payload)
+                except BaseException as error:
+                    op.future.set_exception(error)
+                else:
+                    op.future.set_result(subscription)
             if self._durability is not None and any(
                 op.atoms for op in mutations
             ):
@@ -768,6 +894,15 @@ class DatalogService:
                 self._next_batch_id = batch_id + 1
             if mutations:
                 self._apply_inner(mutations)
+            for op in batch:
+                if op.kind != "unsubscribe":
+                    continue
+                try:
+                    self._subscriptions.release(op.payload)
+                except BaseException as error:
+                    op.future.set_exception(error)
+                else:
+                    op.future.set_result(None)
             if self._durability is not None and (
                 controls or self._durability.should_checkpoint()
             ):
@@ -822,6 +957,10 @@ class DatalogService:
             )
         except BaseException as exc:  # pragma: no cover - defensive
             error = exc
+        # Drained exactly once per batch, before _warm() can repair views
+        # for unrelated reasons: the per-plan ViewDeltas this batch produced,
+        # net-composed across its mutations.
+        standing = self._session.drain_standing_deltas()
         warmed = self._warm()
         if (
             error is not None
@@ -831,6 +970,30 @@ class DatalogService:
             # Publish even after a failed batch: apply_batch settles derived
             # state for whatever reached the index before the failure.
             self._publish()
+        if standing and self._subscriptions.active_count():
+            # Fan out after the epoch swap (a woken subscriber polling the
+            # service sees at least its notification's revision) and before
+            # acknowledging the batch — a "block"-policy slow consumer
+            # therefore backpressures mutators, exactly like a full write
+            # queue.
+            tracer = get_tracer()
+            span = (
+                tracer.start(
+                    "service.notify",
+                    revision=self._epoch.revision,
+                    subscribers=self._subscriptions.active_count(),
+                )
+                if tracer.enabled
+                else None
+            )
+            notified, gaps = self._subscriptions.fan_out(
+                self._epoch.revision, standing
+            )
+            with self._stats_lock:
+                self.statistics.notifications_sent += notified
+                self.statistics.subscription_gaps += gaps
+            if span is not None:
+                span.finish(notifications=notified, gaps=gaps)
         with self._stats_lock:
             self.statistics.batches_applied += 1
             if len(batch) > 1:
@@ -921,14 +1084,27 @@ class DatalogService:
         """Drain the queue, stop the writer thread, and join it.
 
         Ops enqueued before ``close`` are still applied and acknowledged;
-        later mutations raise :class:`~repro.errors.ServiceClosedError`.
-        Reads remain available on the last published epoch.  Idempotent.
+        later mutations (and ``subscribe()`` calls) raise
+        :class:`~repro.errors.ServiceClosedError`.  Reads remain available
+        on the last published epoch.  Subscriptions are closed in order:
+        deliveries blocked on full queues are woken *before* the writer is
+        joined (they coalesce into gaps, so a slow consumer can never
+        deadlock ``close()``), and streams are ended only *after* the
+        writer is gone — every in-flight notification is flushed to its
+        queue and stays consumable; iterators then stop, callback pumps
+        drain their backlog and are joined.  Idempotent.
         """
         with self._queue_lock:
             self._closed = True
             self._not_empty.notify_all()
             self._not_full.notify_all()
+        # After _closed is visible: any writer-side delivery that blocks (or
+        # is already blocked) on a full "block"-policy queue must give up and
+        # gap out, or join() below would wait on a consumer that may never
+        # come.
+        self._subscriptions.begin_close()
         self._writer.join(timeout)
+        self._subscriptions.finish_close(timeout)
         if self._durability is not None:
             # After the join: the writer's close-time checkpoint (if
             # configured) has been written, nothing touches the log again.

@@ -12,9 +12,14 @@ recomputes every observed ``(revision, query)`` pair from scratch with
 threads must also agree on their fact base (one published fact set per
 revision).
 
-Alongside the service battery: the engine-level guarantees it builds on —
-cold lazy pattern tables built once under the per-snapshot lock while 8
-threads hammer them through a barrier, and the SQLite backend's
+Alongside the service battery: the push-based subscription layer under the
+same treatment — N subscriber threads with slow/fast consumers under both
+overflow policies, folded streams reconciled against the final published
+answers, and ``close()`` racing writer deliveries blocked on full queues
+(``TestSubscriptionStress``; single-threaded delivery semantics live in
+``tests/test_subscriptions.py``) — and the engine-level guarantees it all
+builds on: cold lazy pattern tables built once under the per-snapshot lock
+while 8 threads hammer them through a barrier, and the SQLite backend's
 thread-affinity fix (snapshot and read a sqlite-backed index from threads
 other than its creator, which used to raise ``ProgrammingError``).
 """
@@ -23,6 +28,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 
 import pytest
 
@@ -154,6 +160,181 @@ class TestServiceStress:
         by_revision: dict = {}
         for revision, facts, _, _ in observations:
             assert by_revision.setdefault(revision, facts) == facts
+
+
+class TestSubscriptionStress:
+    """N subscriber threads × 1 writer: delivery survives real scheduling.
+
+    Each consumer thread drains its own subscription until the stream ends
+    (``get()`` returns ``None`` after ``close()``), recording every item;
+    the main thread then folds each recorded stream over its registration
+    snapshot and requires it to land exactly on the final published answers
+    — slow consumers, both overflow policies, and a ``close()`` racing
+    blocked deliveries included.  One consumer per subscription (the queue
+    is single-consumer by contract); the writer side is exercised through
+    the service's real writer thread.
+    """
+
+    def _consume(self, subscription, items, errors, delay=0.0):
+        try:
+            while True:
+                item = subscription.get(30)
+                if item is None:
+                    return
+                items.append(item)
+                if delay:
+                    time.sleep(delay)
+        except BaseException as error:  # pragma: no cover - reported below
+            errors.append(error)
+
+    def _fold(self, subscription, items):
+        state = subscription.snapshot_answers
+        last = subscription.snapshot_revision
+        for item in items:
+            assert item.revision > last, "out-of-order or duplicated delivery"
+            last = item.revision
+            state = item.apply(state)
+        return state
+
+    def test_mixed_consumers_reconcile_under_both_policies(self):
+        rng = random.Random(7)
+        profiles = [
+            dict(on_overflow="block", max_queue=128, delay=0.0),
+            dict(on_overflow="block", max_queue=4, delay=0.002),
+            dict(on_overflow="drop_and_mark_gap", max_queue=2, delay=0.004),
+            dict(on_overflow="drop_and_mark_gap", max_queue=64, delay=0.0),
+            dict(on_overflow="block", max_queue=16, delay=0.001),
+            dict(on_overflow="drop_and_mark_gap", max_queue=1, delay=0.006),
+        ]
+        errors: list = []
+        consumers = []
+        with DatalogService(rng.sample(ATOM_POOL, 6), RULES) as service:
+            for index, profile in enumerate(profiles):
+                subscription = service.subscribe(
+                    QUERIES[index % len(QUERIES)],
+                    max_queue=profile["max_queue"],
+                    on_overflow=profile["on_overflow"],
+                )
+                items: list = []
+                thread = threading.Thread(
+                    target=self._consume,
+                    args=(subscription, items, errors, profile["delay"]),
+                )
+                thread.start()
+                consumers.append((subscription, items, thread))
+            futures = []
+            for _ in range(40):
+                atoms = rng.sample(ATOM_POOL, rng.randint(1, 3))
+                if rng.random() < 0.55:
+                    futures.append(service.add_facts(atoms))
+                else:
+                    futures.append(service.remove_facts(atoms))
+            for future in futures:
+                future.result(60)
+        # close() (via the context manager) ended every stream; consumers
+        # drain their backlog and exit on the end-of-stream None.
+        _join_all([thread for _, _, thread in consumers])
+        assert not errors, errors
+        for subscription, items, _ in consumers:
+            final = self._fold(subscription, items)
+            assert final == service.answers(subscription.query), (
+                "a consumer's folded stream diverged from the final answers"
+            )
+
+    def test_drop_and_mark_gap_never_loses_a_delta_silently(self):
+        rng = random.Random(21)
+        errors: list = []
+        consumers = []
+        with DatalogService((), RULES) as service:
+            for _ in range(4):
+                subscription = service.subscribe(
+                    QUERIES[0], max_queue=1, on_overflow="drop_and_mark_gap"
+                )
+                items: list = []
+                thread = threading.Thread(
+                    target=self._consume,
+                    args=(subscription, items, errors, 0.005),
+                )
+                thread.start()
+                consumers.append((subscription, items, thread))
+            futures = []
+            for _ in range(30):
+                atoms = rng.sample(ATOM_POOL, rng.randint(1, 2))
+                kind = service.add_facts if rng.random() < 0.6 else (
+                    service.remove_facts
+                )
+                futures.append(kind(atoms))
+            for future in futures:
+                future.result(60)
+        _join_all([thread for _, _, thread in consumers])
+        assert not errors, errors
+        for subscription, items, _ in consumers:
+            # Every coalesced delivery is accounted for: a non-zero dropped
+            # counter implies gap markers, and the markers were actually
+            # observed in the stream — never swallowed silently.
+            if subscription.dropped:
+                assert subscription.gaps > 0
+                assert any(item.is_gap for item in items)
+            assert self._fold(subscription, items) == service.answers(
+                subscription.query
+            )
+
+    def test_close_races_blocked_deliveries_without_deadlock(self):
+        """Full ``block``-policy queues with *no* consumers: ``close()``
+        must wake the blocked writer (coalescing into gaps), join, and
+        still leave every queued item drainable and reconcilable."""
+        service = DatalogService((), RULES)
+        subscriptions = [
+            service.subscribe(QUERIES[0], max_queue=1, on_overflow="block")
+            for _ in range(3)
+        ]
+        rng = random.Random(3)
+        for _ in range(6):
+            service.add_facts(rng.sample(ATOM_POOL, 2))  # futures not awaited
+        time.sleep(0.2)  # let the writer block on the full queues
+        started = time.time()
+        service.close(timeout=30)
+        assert time.time() - started < 20, "close() deadlocked on consumers"
+        for subscription in subscriptions:
+            items = list(subscription)
+            assert self._fold(subscription, items) == service.answers(
+                subscription.query
+            )
+            assert subscription.get(0.1) is None
+
+    def test_concurrent_unsubscribe_during_writes(self):
+        rng = random.Random(11)
+        errors: list = []
+        with DatalogService((), RULES) as service:
+            subscriptions = [
+                service.subscribe(QUERIES[i % len(QUERIES)], max_queue=256)
+                for i in range(6)
+            ]
+
+            def churn(subscription) -> None:
+                try:
+                    time.sleep(rng.random() * 0.05)
+                    subscription.unsubscribe()
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=churn, args=(subscription,))
+                for subscription in subscriptions
+            ]
+            for thread in threads:
+                thread.start()
+            futures = [
+                service.add_facts(rng.sample(ATOM_POOL, 2)) for _ in range(20)
+            ]
+            for future in futures:
+                future.result(60)
+            _join_all(threads)
+            assert not errors, errors
+            service.flush(30)
+            assert service.subscriptions_active == 0
+            # The writer-side pins all died with the releases.
+            assert not service._session._standing_tokens
 
 
 class TestSnapshotConcurrency:
