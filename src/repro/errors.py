@@ -118,6 +118,17 @@ class DurabilityError(ReproError):
     """
 
 
+class ReplicationError(ReproError):
+    """Raised by the epoch-replication layer on protocol violations.
+
+    A replica that observes a revision gap in its delta stream (a record
+    it cannot compose onto its last-applied revision) raises this instead
+    of silently applying — the transport layer reacts by resynchronising
+    from a snapshot.  Malformed wire records and use of a closed
+    publisher/transport raise it too.
+    """
+
+
 class StratificationError(ReproError):
     """Raised when a program is not stratified w.r.t. default negation.
 

@@ -683,6 +683,15 @@ class QuerySession:
         self._pending_views: dict[tuple, Tuple[set, set]] = {}
         #: plan keys whose view died mid-repair since the last drain
         self._pending_lost: set[tuple] = set()
+        # ---- base-fact delta capture (replication support).  Off until the
+        # serving layer attaches a replication publisher, so sessions that
+        # are never replicated pay nothing on the mutation path.  Unlike the
+        # per-plan view deltas above, this tracks the *base* fact changes —
+        # exactly what a replica must apply through its own apply_batch.
+        self._capture_facts = False
+        #: net base-fact change since the last drain: (added, removed)
+        self._pending_fact_added: set[Atom] = set()
+        self._pending_fact_removed: set[Atom] = set()
         # Decide once whether the rules are in the rewritable fragment; keep
         # the normalised form so plan compilation does not re-normalise.
         self._rewritable = True
@@ -993,6 +1002,42 @@ class QuerySession:
         entry = self._views[standing.plan_key]
         return plan.program.collect_answers(entry.view.index, standing.constants)
 
+    def set_fact_capture(self, enabled: bool) -> None:
+        """Turn base-fact delta capture on or off (replication support).
+
+        While enabled, every mutation's **net** base-fact change accumulates
+        for :meth:`drain_fact_deltas` — the replication publisher drains it
+        once per epoch publish.  Like standing-query capture, only the
+        mutation path records anything: read-side seed injections never
+        pollute the stream.  Disabling clears whatever was pending.
+        """
+        self._capture_facts = enabled
+        if not enabled:
+            self._pending_fact_added.clear()
+            self._pending_fact_removed.clear()
+
+    def drain_fact_deltas(
+        self,
+    ) -> Optional[Tuple[Tuple[Atom, ...], Tuple[Atom, ...]]]:
+        """The net ``(added, removed)`` base facts since the previous drain,
+        then reset; ``None`` when capture is off.
+
+        Multiple mutations between drains compose into one net delta — the
+        same composition :meth:`drain_standing_deltas` applies to view
+        deltas — so a replica that applies each drained delta through
+        :meth:`apply_batch` reconstructs this session's fact base exactly,
+        revision for revision.
+        """
+        if not self._capture_facts:
+            return None
+        drained = (
+            tuple(self._pending_fact_added),
+            tuple(self._pending_fact_removed),
+        )
+        self._pending_fact_added.clear()
+        self._pending_fact_removed.clear()
+        return drained
+
     def drain_standing_deltas(self) -> StandingDeltas:
         """The net per-plan :class:`~repro.engine.maintenance.ViewDelta`\\ s
         accumulated since the previous drain, then reset.
@@ -1146,6 +1191,21 @@ class QuerySession:
         touched.update(atom.predicate for atom in removed)
         if self._capture_deltas:
             self._pending_touched.update(touched)
+        if self._capture_facts:
+            # Net-compose across mutations between drains: an atom added and
+            # then removed (or vice versa) cancels out, mirroring how the
+            # per-plan view deltas compose — a replica applying the drained
+            # delta lands on exactly this session's fact base.
+            for atom in added:
+                if atom in self._pending_fact_removed:
+                    self._pending_fact_removed.discard(atom)
+                else:
+                    self._pending_fact_added.add(atom)
+            for atom in removed:
+                if atom in self._pending_fact_added:
+                    self._pending_fact_added.discard(atom)
+                else:
+                    self._pending_fact_removed.add(atom)
         self._revision += 1
         self._snapshot = None
         self._export_snapshot = None

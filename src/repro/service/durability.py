@@ -49,8 +49,7 @@ import io
 import json
 import os
 import signal
-import struct
-import zlib
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -62,6 +61,7 @@ from ..errors import DurabilityError
 from ..obs.metrics import MetricsRegistry, global_registry
 from ..obs.trace import get_tracer
 from ..query.session import AnswerExport, ViewExport, WarmState
+from .framing import FRAME_HEADER as _HEADER, frame as _frame, scan_frames as _scan_frames
 
 __all__ = [
     "CheckpointStore",
@@ -323,38 +323,13 @@ def decode_warm_state(payload: dict) -> WarmState:
 
 
 # --------------------------------------------------------------------------
-# record framing
+# record framing — shared with the replication wire format
 # --------------------------------------------------------------------------
-
-#: record header: little-endian payload length then CRC-32 of the payload
-_HEADER = struct.Struct("<II")
-
-
-def _frame(payload: bytes) -> bytes:
-    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
-
-
-def _scan_frames(data: bytes, offset: int) -> Tuple[List[bytes], int]:
-    """Parse consecutive frames; returns (payloads, end-of-valid-prefix).
-
-    Stops — without raising — at the first record whose header runs past the
-    buffer, whose payload is short, or whose checksum mismatches: that is by
-    definition the torn tail.
-    """
-    payloads: List[bytes] = []
-    end = offset
-    size = len(data)
-    while end + _HEADER.size <= size:
-        length, checksum = _HEADER.unpack_from(data, end)
-        start = end + _HEADER.size
-        if start + length > size:
-            break
-        payload = data[start : start + length]
-        if zlib.crc32(payload) != checksum:
-            break
-        payloads.append(payload)
-        end = start + length
-    return payloads, end
+#
+# The length + CRC-32 framing lives in :mod:`repro.service.framing` so the
+# replication stream (:mod:`repro.service.net.replication`) can speak the
+# exact same record format over sockets; the ``_HEADER`` / ``_frame`` /
+# ``_scan_frames`` names above are aliases kept for this module's callers.
 
 
 def _fsync_directory(path: Path) -> None:
@@ -369,6 +344,119 @@ def _fsync_directory(path: Path) -> None:
         pass
     finally:
         os.close(fd)
+
+
+# --------------------------------------------------------------------------
+# double-open guard: flock, else an O_EXCL lock file, never a silent no-op
+# --------------------------------------------------------------------------
+
+#: emitted (once per process) only when *no* double-open guard could be
+#: installed at all — the degradation is loud, never silent.
+_lock_guard_warned = False
+
+
+def _warn_no_lock_guard(path: Path, error: BaseException) -> None:
+    global _lock_guard_warned
+    if _lock_guard_warned:
+        return
+    _lock_guard_warned = True
+    warnings.warn(
+        f"no double-open guard available for write-ahead log {path}: "
+        f"fcntl is missing and the lock-file fallback failed ({error!r}); "
+        "two services opening this store concurrently would interleave WAL "
+        "appends undetected",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+def _pid_alive(pid: int) -> bool:
+    """``True`` iff *pid* names a live process we can observe."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's live process
+        return True
+    except OSError:  # pragma: no cover - platform without kill probing
+        return True
+    return True
+
+
+class _LockFileGuard:
+    """``O_CREAT | O_EXCL`` lock-file fallback for platforms without ``fcntl``.
+
+    The lock file sits next to the log (``<log>.lock``) and records the
+    owning pid.  Acquisition is atomic by ``O_EXCL``; a lock left behind by
+    a SIGKILLed owner is recovered by probing the recorded pid — a dead pid
+    (or an unreadable payload from a crash mid-write) makes the lock stale,
+    it is unlinked and acquisition retried exactly once.  Weaker than
+    ``flock`` (a pid can be recycled; NFS semantics vary) but *never
+    silent*: the double-open case raises, and only an environment where the
+    lock file itself cannot be created degrades — with a one-time warning.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._held = False
+
+    def acquire(self) -> None:
+        for attempt in (1, 2):
+            try:
+                fd = os.open(
+                    self._path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                owner = self._read_owner()
+                if attempt == 1 and (owner is None or not _pid_alive(owner)):
+                    # Stale: the recorded owner died (or never finished
+                    # writing its pid).  Break the lock and retry once —
+                    # two racing recoverers serialise on the O_EXCL retry.
+                    try:
+                        os.unlink(self._path)
+                    except OSError:  # pragma: no cover - racing recovery
+                        pass
+                    continue
+                holder = f" (held by pid {owner})" if owner is not None else ""
+                raise DurabilityError(
+                    f"write-ahead log {self._path.parent / self._path.stem} "
+                    f"is already open in another process{holder}; the lock "
+                    f"file is {self._path}"
+                )
+            except OSError as error:
+                # The guard itself is unavailable (read-only dir for the
+                # lock, exotic filesystem): degrade loudly, exactly once.
+                _warn_no_lock_guard(self._path, error)
+                return
+            try:
+                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                os.fsync(fd)
+            except OSError:  # pragma: no cover - best-effort pid stamp
+                pass
+            finally:
+                os.close(fd)
+            self._held = True
+            return
+        raise DurabilityError(  # pragma: no cover - double stale race
+            f"could not acquire lock file {self._path} after stale recovery"
+        )
+
+    def _read_owner(self) -> Optional[int]:
+        try:
+            return int(self._path.read_text().strip())
+        except (OSError, ValueError):
+            return None
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self._path)
+        except OSError:  # pragma: no cover - already gone
+            pass
 
 
 # --------------------------------------------------------------------------
@@ -397,6 +485,7 @@ class FactLog:
         self._path = Path(path)
         self._fsync = fsync
         self._file: Optional[io.BufferedRandom] = None
+        self._fallback_lock: Optional[_LockFileGuard] = None
         #: bytes appended / records appended / fsyncs issued / tails truncated
         self.bytes_written = 0
         self.records_written = 0
@@ -415,6 +504,13 @@ class FactLog:
         acknowledged history — and raises :class:`DurabilityError` rather
         than silently discarding it.
         """
+        # Double-open guard BEFORE any byte is read or written: two
+        # services interleaving appends on one log corrupt acknowledged
+        # history.  ``flock`` where the platform has it; a pid-stamped
+        # ``O_CREAT|O_EXCL`` lock file where it does not (stale locks from
+        # dead owners are broken automatically); only an environment where
+        # even the lock file cannot exist degrades — with a one-time
+        # RuntimeWarning, never a silent no-op.
         exists = self._path.exists()
         self._file = open(self._path, "r+b" if exists else "x+b")
         if fcntl is not None:
@@ -427,6 +523,17 @@ class FactLog:
                     f"write-ahead log {self._path} is already open "
                     "in another process"
                 )
+        else:
+            guard = _LockFileGuard(
+                self._path.with_name(self._path.name + ".lock")
+            )
+            try:
+                guard.acquire()
+            except DurabilityError:
+                self._file.close()
+                self._file = None
+                raise
+            self._fallback_lock = guard
         data = self._file.read() if exists else b""
         if not data.startswith(_WAL_MAGIC):
             if _WAL_MAGIC.startswith(data):
@@ -440,6 +547,7 @@ class FactLog:
                 return []
             self._file.close()
             self._file = None
+            self._release_fallback_lock()
             raise DurabilityError(
                 f"{self._path} is not a repro write-ahead log"
             )
@@ -531,12 +639,18 @@ class FactLog:
         self._file.flush()
         self._do_sync()
 
+    def _release_fallback_lock(self) -> None:
+        if self._fallback_lock is not None:
+            self._fallback_lock.release()
+            self._fallback_lock = None
+
     def close(self) -> None:
         if self._file is not None:
             self._file.flush()
             self._do_sync()
             self._file.close()
             self._file = None
+        self._release_fallback_lock()
 
 
 # --------------------------------------------------------------------------

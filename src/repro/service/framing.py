@@ -1,0 +1,121 @@
+"""Length-prefixed, CRC-32-checksummed record framing.
+
+One frame = an 8-byte little-endian header (payload length, CRC-32 of the
+payload) followed by the payload bytes.  The framing carries every durable
+and networked record in the serving layer:
+
+* the **write-ahead fact log** and **checkpoints**
+  (:mod:`repro.service.durability`) frame their JSON payloads so torn tails
+  and bit rot are detected by checksum, never half-applied;
+* the **replication stream** (:mod:`repro.service.net.replication`) reuses
+  the exact same framing as its wire format — a replication record is
+  byte-compatible with a WAL record, so the two layers share one torn-frame
+  story and one debugging surface.
+
+:func:`scan_frames` parses a byte buffer (file recovery); :func:`read_frame`
+/ :func:`write_frame` move single frames over blocking streams (sockets,
+pipes).  A short read mid-frame on a stream returns ``None`` — the peer went
+away — mirroring how a torn tail ends a buffer scan.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "FRAME_HEADER",
+    "MAX_FRAME_PAYLOAD",
+    "frame",
+    "read_frame",
+    "scan_frames",
+    "write_frame",
+]
+
+#: record header: little-endian payload length then CRC-32 of the payload
+FRAME_HEADER = struct.Struct("<II")
+
+#: upper bound accepted by the *stream* reader: a corrupt or hostile header
+#: must not make a replica allocate gigabytes.  Generous — a full snapshot
+#: of a large store fits comfortably — while still rejecting garbage.
+MAX_FRAME_PAYLOAD = 1 << 30
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap *payload* in a length + CRC-32 header."""
+    return FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_frames(data: bytes, offset: int) -> Tuple[List[bytes], int]:
+    """Parse consecutive frames; returns (payloads, end-of-valid-prefix).
+
+    Stops — without raising — at the first record whose header runs past the
+    buffer, whose payload is short, or whose checksum mismatches: that is by
+    definition the torn tail.
+    """
+    payloads: List[bytes] = []
+    end = offset
+    size = len(data)
+    while end + FRAME_HEADER.size <= size:
+        length, checksum = FRAME_HEADER.unpack_from(data, end)
+        start = end + FRAME_HEADER.size
+        if start + length > size:
+            break
+        payload = data[start : start + length]
+        if zlib.crc32(payload) != checksum:
+            break
+        payloads.append(payload)
+        end = start + length
+    return payloads, end
+
+
+def _read_exact(stream, count: int) -> Optional[bytes]:
+    """Read exactly *count* bytes from a blocking stream, or ``None`` on EOF.
+
+    *stream* is anything with ``recv`` (socket) or ``read`` (file object);
+    a connection dropping mid-frame yields ``None``, never a short buffer.
+    """
+    chunks: List[bytes] = []
+    remaining = count
+    receive = getattr(stream, "recv", None)
+    while remaining > 0:
+        chunk = receive(remaining) if receive is not None else stream.read(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream) -> Optional[bytes]:
+    """Read one frame off a blocking stream; ``None`` on clean or torn EOF.
+
+    Raises ``ValueError`` on a checksum mismatch or an implausible length —
+    on a live connection that is corruption (or a protocol error), not a
+    torn tail, and silently resynchronising a byte stream is impossible.
+    """
+    header = _read_exact(stream, FRAME_HEADER.size)
+    if header is None:
+        return None
+    length, checksum = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_PAYLOAD:
+        raise ValueError(f"frame length {length} exceeds the payload bound")
+    payload = _read_exact(stream, length)
+    if payload is None:
+        return None
+    if zlib.crc32(payload) != checksum:
+        raise ValueError("frame checksum mismatch on stream")
+    return payload
+
+
+def write_frame(stream, payload: bytes) -> int:
+    """Frame *payload* and write it to a blocking stream; returns the size."""
+    data = frame(payload)
+    send = getattr(stream, "sendall", None)
+    if send is not None:
+        send(data)
+    else:
+        stream.write(data)
+        stream.flush()
+    return len(data)

@@ -1,0 +1,40 @@
+"""repro.service.net — the network surface of the serving layer.
+
+Two modules take :class:`~repro.service.DatalogService` past the process
+boundary:
+
+* :mod:`repro.service.net.http` — an HTTP/JSON front end (stdlib
+  ``http.server``, no dependencies) exposing ``query`` / ``add`` /
+  ``remove`` / ``stats`` / ``subscribe`` (long-poll) endpoints over a
+  service or, read-only, over a replica;
+* :mod:`repro.service.net.replication` — epoch replication: the writer
+  publishes ``(revision, net fact delta, touched predicates)`` records —
+  framed exactly like write-ahead-log records and encoded with the same
+  structural term codec — to N replica processes over a pluggable
+  transport (in-process link for tests, TCP sockets for deployment);
+  replicas apply them through ordinary ``apply_batch`` into their own
+  :class:`~repro.query.session.QuerySession` and serve reads on their
+  last-applied revision, reporting watermarks back so the writer can
+  bound staleness.
+
+See ``docs/replication.md`` for the topology and the staleness contract.
+"""
+
+from .http import DatalogHTTPServer, serve_http
+from .replication import (
+    LocalReplicaLink,
+    Replica,
+    ReplicationClient,
+    ReplicationPublisher,
+    ReplicationServer,
+)
+
+__all__ = [
+    "DatalogHTTPServer",
+    "LocalReplicaLink",
+    "Replica",
+    "ReplicationClient",
+    "ReplicationPublisher",
+    "ReplicationServer",
+    "serve_http",
+]

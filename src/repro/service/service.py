@@ -139,6 +139,12 @@ class ServiceStatistics:
     subscriptions_registered: int = 0
     notifications_sent: int = 0
     subscription_gaps: int = 0
+    #: replication fan-out: net fact deltas handed to attached sinks and
+    #: sink failures swallowed (a broken sink must never take down the
+    #: writer); exported flattened as ``service_replication_records`` /
+    #: ``service_replication_errors``.
+    replication_records: int = 0
+    replication_errors: int = 0
     #: size of the process-wide engine symbol table, sampled at each epoch
     #: publish and at ``stats()`` — how many distinct ground terms the
     #: interned storage core has ever seen (exported as
@@ -387,6 +393,12 @@ class DatalogService:
         self._subscriptions = SubscriptionRegistry(
             self, self._session, self.statistics
         )
+        #: replication sinks, writer-thread only: each is called once per
+        #: epoch publish with ``(revision, added_facts, removed_facts)``.
+        #: Attach/detach ride the write queue as control ops, so the list
+        #: (and the session's fact capture flag) is never touched
+        #: concurrently with a drain.
+        self._replication_sinks: List[Callable] = []
 
         # ---- observability plumbing (see repro.obs and docs/observability.md)
         # Flattened ``service_*`` counters; weakly referenced, so the
@@ -402,6 +414,12 @@ class DatalogService:
             "service_snapshot_index_builds",
             help="Cold pattern-table builds on published (detached) snapshots.",
         )
+        # Publish instants are tracked on the monotonic clock: the lag gauge
+        # must survive NTP steps and slews, which walk time.time() backwards
+        # or sideways.  The wall timestamp exists only for the absolute
+        # "published at" reading in stats()/debugging — nothing is ever
+        # derived from it.
+        self._published_monotonic = time.monotonic()
         self._published_at = time.time()
         self._inflight = 0
         self._queue_depth_gauge = self._metrics.gauge(
@@ -410,7 +428,10 @@ class DatalogService:
         )
         self._epoch_lag_gauge = self._metrics.gauge(
             "service_epoch_lag_seconds",
-            help="Wall seconds since the last epoch publish.",
+            help=(
+                "Seconds since the last epoch publish (monotonic clock, "
+                "clamped at 0 — immune to wall-clock steps)."
+            ),
         )
         self._pending_futures_gauge = self._metrics.gauge(
             "service_pending_futures",
@@ -428,7 +449,9 @@ class DatalogService:
             (self._queue_depth_gauge, lambda: len(self._pending)),
             (
                 self._epoch_lag_gauge,
-                lambda: time.time() - self._published_at,
+                lambda: max(
+                    0.0, time.monotonic() - self._published_monotonic
+                ),
             ),
             (
                 self._pending_futures_gauge,
@@ -756,6 +779,50 @@ class DatalogService:
         """Live (not unsubscribed, not closed) subscription count."""
         return self._subscriptions.active_count()
 
+    def attach_replication(
+        self, sink: Callable, timeout: Optional[float] = None
+    ) -> int:
+        """Attach a replication *sink*; returns the attach-point revision.
+
+        The sink is called on the **writer thread**, once per epoch publish
+        carrying a net base-fact change, as ``sink(revision, added,
+        removed)`` — exactly the delta that takes revision ``n-1``'s fact
+        base to revision ``n``'s.  The attachment rides the write queue as a
+        control op, so deltas start at the first batch applied after the
+        returned revision: bootstrapping replicas from any epoch at or after
+        it composes exactly.  Sinks must not block (see
+        :class:`~repro.service.net.replication.ReplicationPublisher` for the
+        backlog-and-sender-threads arrangement); a sink that raises is
+        counted in ``service_replication_errors`` and skipped for that
+        record, never allowed to take down the writer.
+        """
+        return self._enqueue("replicate", (), payload=sink).result(timeout)
+
+    def detach_replication(
+        self, sink: Callable, timeout: Optional[float] = None
+    ) -> None:
+        """Detach a previously attached replication sink (idempotent).
+
+        Safe on a closed service: the writer is gone, so the sink can no
+        longer be called and the detachment is a no-op.
+        """
+        try:
+            self._enqueue(
+                "unreplicate", (), payload=sink, force=True
+            ).result(timeout)
+        except ServiceClosedError:
+            pass
+
+    @property
+    def published_at(self) -> float:
+        """Wall-clock timestamp of the last epoch publish.
+
+        Informational only (an absolute "published at" for dashboards); the
+        ``service_epoch_lag_seconds`` gauge is derived from the monotonic
+        clock, never from this value.
+        """
+        return self._published_at
+
     def _enqueue(
         self,
         kind: str,
@@ -871,6 +938,23 @@ class DatalogService:
                     op.future.set_exception(error)
                 else:
                     op.future.set_result(subscription)
+            # Replication sinks attach *before* the drain's mutations are
+            # applied: a sink that bootstraps its replicas from the current
+            # epoch (pre-batch revision) then receives this very batch's
+            # delta as its first record — nothing is skipped or doubled.
+            for op in batch:
+                if op.kind == "replicate":
+                    self._replication_sinks.append(op.payload)
+                    self._session.set_fact_capture(True)
+                    op.future.set_result(self._session.revision)
+                elif op.kind == "unreplicate":
+                    try:
+                        self._replication_sinks.remove(op.payload)
+                    except ValueError:
+                        pass
+                    if not self._replication_sinks:
+                        self._session.set_fact_capture(False)
+                    op.future.set_result(None)
             if self._durability is not None and any(
                 op.atoms for op in mutations
             ):
@@ -970,6 +1054,24 @@ class DatalogService:
             # Publish even after a failed batch: apply_batch settles derived
             # state for whatever reached the index before the failure.
             self._publish()
+        if self._replication_sinks:
+            # Fan out the net base-fact delta right after the epoch swap —
+            # before the (possibly blocking) subscription deliveries — so
+            # replica staleness is bounded by the publish path alone.  Sinks
+            # are non-blocking by contract (they append to a backlog and
+            # wake sender threads); one that raises is counted, never fatal.
+            drained = self._session.drain_fact_deltas()
+            if drained is not None and (drained[0] or drained[1]):
+                revision = self._epoch.revision
+                for sink in list(self._replication_sinks):
+                    try:
+                        sink(revision, drained[0], drained[1])
+                    except Exception:
+                        with self._stats_lock:
+                            self.statistics.replication_errors += 1
+                    else:
+                        with self._stats_lock:
+                            self.statistics.replication_records += 1
         if standing and self._subscriptions.active_count():
             # Fan out after the epoch swap (a woken subscriber polling the
             # service sees at least its notification's revision) and before
@@ -1033,6 +1135,7 @@ class DatalogService:
         tracer = get_tracer()
         span = tracer.start("service.publish") if tracer.enabled else None
         self._epoch = Epoch(self, self._session.epoch())
+        self._published_monotonic = time.monotonic()
         self._published_at = time.time()
         with self._stats_lock:
             self.statistics.epochs_published += 1

@@ -483,3 +483,101 @@ def test_checkpoint_bounds_recovery_tail(tmp_path):
         assert reopened.facts == frozenset(edge(i, i + 1) for i in range(7))
     finally:
         reopened.close()
+
+
+class TestLockFileFallback:
+    """The double-open guard without ``fcntl``.
+
+    Regression: on platforms where the ``fcntl`` import fails, the guard
+    used to be a silent no-op — two services could interleave appends on
+    one WAL undetected.  Without ``flock`` the log must fall back to an
+    ``O_CREAT|O_EXCL`` pid-stamped lock file: a second open **raises**, a
+    lock left by a dead process is broken automatically, and only an
+    environment where even the lock file cannot be created degrades — with
+    a one-time ``RuntimeWarning``, never silently.
+    """
+
+    @pytest.fixture(autouse=True)
+    def no_fcntl(self, monkeypatch):
+        import repro.service.durability as durability_module
+
+        monkeypatch.setattr(durability_module, "fcntl", None)
+        monkeypatch.setattr(durability_module, "_lock_guard_warned", False)
+
+    def test_second_open_raises_instead_of_no_op(self, tmp_path):
+        first = FactLog(tmp_path / "facts.wal")
+        first.open_and_recover()
+        try:
+            with pytest.raises(DurabilityError, match="already open"):
+                FactLog(tmp_path / "facts.wal").open_and_recover()
+        finally:
+            first.close()
+        # close() released the lock file: reopening works, no stale file.
+        assert not (tmp_path / "facts.wal.lock").exists()
+        second = FactLog(tmp_path / "facts.wal")
+        assert second.open_and_recover() == []
+        second.close()
+
+    def test_second_service_open_raises(self, tmp_path):
+        first = DatalogService(
+            (),
+            rules(),
+            durability=DurabilityConfig(path=tmp_path),
+            metrics=MetricsRegistry(),
+        )
+        try:
+            with pytest.raises(DurabilityError):
+                DatalogService(
+                    (),
+                    rules(),
+                    durability=DurabilityConfig(path=tmp_path),
+                    metrics=MetricsRegistry(),
+                )
+        finally:
+            first.close()
+
+    def test_stale_lock_from_dead_pid_is_broken(self, tmp_path):
+        import subprocess
+        import sys
+
+        # A pid that certainly existed and is certainly dead now:
+        probe = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(probe.stdout.strip())
+        (tmp_path / "facts.wal.lock").write_text(f"{dead_pid}\n")
+        log = FactLog(tmp_path / "facts.wal")
+        assert log.open_and_recover() == []  # stale lock recovered
+        log.close()
+
+    def test_garbage_lock_payload_is_treated_as_stale(self, tmp_path):
+        # A crash mid-write can leave an empty or unparsable lock file.
+        (tmp_path / "facts.wal.lock").write_text("")
+        log = FactLog(tmp_path / "facts.wal")
+        assert log.open_and_recover() == []
+        log.close()
+
+    def test_live_pid_lock_is_respected(self, tmp_path):
+        import os
+
+        (tmp_path / "facts.wal.lock").write_text(f"{os.getpid()}\n")
+        with pytest.raises(DurabilityError, match="already open"):
+            FactLog(tmp_path / "facts.wal").open_and_recover()
+
+    def test_unavailable_guard_warns_once_not_silently(self, tmp_path):
+        from repro.service.durability import _LockFileGuard
+
+        # A lock path whose directory does not exist: O_CREAT|O_EXCL fails
+        # with an error that is not FileExistsError, so no guard can be
+        # installed at all — that degradation must be loud, exactly once.
+        missing = tmp_path / "gone" / "facts.wal.lock"
+        with pytest.warns(RuntimeWarning, match="no double-open guard"):
+            _LockFileGuard(missing).acquire()
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")  # second warn would raise
+            _LockFileGuard(missing).acquire()

@@ -1,0 +1,227 @@
+"""The HTTP/JSON front end: endpoints, error mapping, long-poll.
+
+Each test runs a real ``ThreadingHTTPServer`` on an ephemeral port and
+talks to it with ``urllib`` — the full network stack, no handler mocking.
+Three groups:
+
+* **read/write** — query answers carry the revision they are exact for,
+  mutations acknowledge exact counts, stats serve the metrics snapshot;
+* **subscriptions** — subscribe returns the registration snapshot,
+  long-poll GETs deliver per-revision notifications in order, timeouts
+  and cancellation are explicit responses, not hangs;
+* **error mapping** — bad Datalog 400, unknown endpoints/subscriptions
+  404, wrong verbs 405, writes on a replica backend 403.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import parse_program, parse_query
+from repro.core.atoms import Atom, Predicate
+from repro.core.terms import Constant
+from repro.obs.metrics import MetricsRegistry
+from repro.service import DatalogService
+from repro.service.net import (
+    LocalReplicaLink,
+    Replica,
+    ReplicationPublisher,
+    serve_http,
+)
+
+LINK = Predicate("link", 2)
+
+RULES = parse_program(
+    """
+    link(X, Y) -> reachable(X, Y)
+    link(X, Z), reachable(Z, Y) -> reachable(X, Y)
+    """
+)
+
+QUERY_TEXT = "?(Y) :- reachable(a, Y)"
+
+
+def link(source: str, target: str) -> Atom:
+    return Atom(LINK, (Constant(source), Constant(target)))
+
+
+@pytest.fixture
+def served():
+    service = DatalogService(rules=RULES, metrics=MetricsRegistry())
+    service.add_facts([link("a", "b"), link("b", "c")]).result()
+    server = serve_http(service)
+    yield service, server
+    server.close()
+    service.close()
+
+
+def request(server, path, *, body=None, method=None, timeout=30):
+    host, port = server.address
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def status_of(error: urllib.error.HTTPError) -> int:
+    error.read()
+    return error.code
+
+
+class TestReadWrite:
+    def test_query_carries_revision_and_sorted_answers(self, served):
+        service, server = served
+        status, payload = request(
+            server, "/v1/query", body={"query": QUERY_TEXT}
+        )
+        assert status == 200
+        assert payload == {"revision": 1, "answers": [["b"], ["c"]]}
+
+    def test_add_remove_acknowledge_exact_counts(self, served):
+        service, server = served
+        _, added = request(
+            server,
+            "/v1/add",
+            body={"facts": ["link(c, d)", "link(a, b)"]},  # one is present
+        )
+        assert added == {"added": 1, "revision": 2}
+        _, removed = request(
+            server, "/v1/remove", body={"facts": ["link(c, d)"]}
+        )
+        assert removed == {"removed": 1, "revision": 3}
+        # Read-your-writes through the front end:
+        _, payload = request(server, "/v1/query", body={"query": QUERY_TEXT})
+        assert payload["revision"] == 3
+        assert payload["answers"] == [["b"], ["c"]]
+
+    def test_stats_serves_the_metrics_snapshot(self, served):
+        service, server = served
+        status, payload = request(server, "/v1/stats")
+        assert status == 200
+        assert "service_epoch_lag_seconds" in payload["gauges"]
+        assert payload["gauges"]["service_epoch_lag_seconds"] >= 0.0
+        assert payload["counters"]["service_batches_applied"] >= 1
+
+
+class TestSubscriptions:
+    def test_subscribe_poll_cancel_roundtrip(self, served):
+        service, server = served
+        _, opened = request(
+            server, "/v1/subscribe", body={"query": QUERY_TEXT}
+        )
+        token = opened["subscription"]
+        assert opened["revision"] == 1
+        assert opened["answers"] == [["b"], ["c"]]
+        service.add_facts([link("c", "d")]).result()
+        _, note = request(
+            server, f"/v1/subscriptions/{token}?timeout=10"
+        )
+        assert note == {
+            "gap": False,
+            "revision": 2,
+            "added": [["d"]],
+            "removed": [],
+        }
+        _, cancelled = request(
+            server, f"/v1/subscriptions/{token}", method="DELETE"
+        )
+        assert cancelled == {"cancelled": True}
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            request(server, f"/v1/subscriptions/{token}?timeout=1")
+        assert status_of(exc.value) == 404
+
+    def test_poll_timeout_is_an_explicit_response(self, served):
+        service, server = served
+        _, opened = request(
+            server, "/v1/subscribe", body={"query": QUERY_TEXT}
+        )
+        token = opened["subscription"]
+        _, note = request(
+            server, f"/v1/subscriptions/{token}?timeout=0.1"
+        )
+        assert note == {"timeout": True}
+
+
+class TestErrorMapping:
+    def test_bad_datalog_is_400(self, served):
+        _, server = served
+        for body in (
+            {"query": "?(X) :- reachable(a X)"},  # parse error
+            {"query": 7},  # not a string
+            {"nope": True},  # missing field
+        ):
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                request(server, "/v1/query", body=body)
+            assert status_of(exc.value) == 400
+
+    def test_unknown_endpoint_is_404(self, served):
+        _, server = served
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            request(server, "/v1/nope", body={})
+        assert status_of(exc.value) == 404
+
+    def test_wrong_method_is_405(self, served):
+        _, server = served
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            request(server, "/v1/query")  # GET on a POST endpoint
+        assert status_of(exc.value) == 405
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            request(server, "/v1/stats", body={})  # POST on a GET endpoint
+        assert status_of(exc.value) == 405
+
+    def test_unsafe_query_is_400(self, served):
+        _, server = served
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            request(
+                server, "/v1/query", body={"query": "?(X) :- not link(X, X)"}
+            )
+        assert status_of(exc.value) == 400
+
+
+class TestReplicaBackend:
+    def test_replica_serves_reads_at_applied_revision(self):
+        service = DatalogService(rules=RULES, metrics=MetricsRegistry())
+        service.add_facts([link("a", "b"), link("b", "c")]).result()
+        publisher = ReplicationPublisher(service)
+        replica = Replica(RULES, metrics=MetricsRegistry())
+        linkage = LocalReplicaLink(publisher, replica)
+        linkage.sync()
+        server = serve_http(replica)
+        try:
+            _, payload = request(
+                server, "/v1/query", body={"query": QUERY_TEXT}
+            )
+            assert payload["revision"] == service.revision
+            assert payload["answers"] == [["b"], ["c"]]
+            # The replica's HTTP surface is read-only:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                request(server, "/v1/add", body={"facts": ["link(c, d)"]})
+            assert status_of(exc.value) == 403
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                request(server, "/v1/subscribe", body={"query": QUERY_TEXT})
+            assert status_of(exc.value) == 403
+            # Reads show replication staleness directly: a write the
+            # replica has not applied yet leaves its revision behind.
+            service.add_facts([link("c", "d")]).result()
+            _, stale = request(
+                server, "/v1/query", body={"query": QUERY_TEXT}
+            )
+            assert stale["revision"] == service.revision - 1
+            linkage.sync()
+            _, fresh = request(
+                server, "/v1/query", body={"query": QUERY_TEXT}
+            )
+            assert fresh["revision"] == service.revision
+            assert fresh["answers"] == [["b"], ["c"], ["d"]]
+        finally:
+            server.close()
+            linkage.close()
+            publisher.close()
+            replica.close()
+            service.close()

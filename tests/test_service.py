@@ -400,3 +400,84 @@ class TestFallbackService:
         ) as service:
             with pytest.raises(Exception):
                 service.answers(parse_query("?(X) :- r(X)"))
+
+
+class TestEpochLagGauge:
+    """``service_epoch_lag_seconds`` is monotonic-clock based.
+
+    Regression: the gauge used to be ``time.time() - published_at``, so an
+    NTP step backwards drove it negative (and a step forwards faked a lag
+    spike) on a perfectly healthy service.  It must track only the
+    monotonic clock, clamp at zero, and reset on every publish; the wall
+    timestamp survives solely as the informational ``published_at``.
+    """
+
+    @staticmethod
+    def _gauge(service):
+        return service.stats().gauges["service_epoch_lag_seconds"]
+
+    def test_wall_clock_steps_do_not_move_the_gauge(self, monkeypatch):
+        import time as real_time
+
+        import repro.service.service as service_module
+
+        class SteppingClock:
+            """Delegates to the real module, with adjustable offsets."""
+
+            wall_offset = 0.0
+            mono_offset = 0.0
+
+            def time(self):
+                return real_time.time() + self.wall_offset
+
+            def monotonic(self):
+                return real_time.monotonic() + self.mono_offset
+
+            def __getattr__(self, name):
+                return getattr(real_time, name)
+
+        clock = SteppingClock()
+        monkeypatch.setattr(service_module, "time", clock)
+        with DatalogService(rules=RULES) as service:
+            service.add_facts([link("a", "b")]).result(5)
+            baseline = self._gauge(service)
+            assert 0.0 <= baseline < 5.0
+
+            # An NTP step backwards: a time.time()-based gauge would go
+            # a full hour negative here.
+            clock.wall_offset = -3600.0
+            assert self._gauge(service) >= 0.0
+            assert self._gauge(service) < 5.0
+
+            # A step forwards must not fake an hour of staleness either.
+            clock.wall_offset = +3600.0
+            assert self._gauge(service) < 5.0
+
+            # ...but the *monotonic* clock advancing is real lag:
+            clock.mono_offset = 7.0
+            assert self._gauge(service) >= 7.0
+
+            # and a publish resets it.
+            service.add_facts([link("b", "c")]).result(5)
+            assert self._gauge(service) < 5.0
+
+    def test_gauge_is_never_negative_even_with_monotonic_skew(
+        self, monkeypatch
+    ):
+        """Defence in depth: even a (theoretically impossible) backwards
+        monotonic step must clamp at zero, not report negative lag."""
+        with DatalogService(rules=RULES) as service:
+            service.add_facts([link("a", "b")]).result(5)
+            import time as real_time
+
+            service._published_monotonic = real_time.monotonic() + 3600.0
+            assert self._gauge(service) == 0.0
+
+    def test_published_at_remains_a_wall_timestamp(self):
+        import time as real_time
+
+        before = real_time.time()
+        with DatalogService(rules=RULES) as service:
+            service.add_facts([link("a", "b")]).result(5)
+            after = real_time.time()
+            assert before <= service.published_at <= after
